@@ -1,0 +1,48 @@
+"""Figure 6: small-file create/read/delete on the four stacks,
+normalized to UFS on the regular disk."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from .conftest import full_scale, run_once
+
+
+def test_figure6(benchmark):
+    num_files = 1500 if full_scale() else 500
+
+    result = run_once(
+        benchmark, lambda: experiments.figure6(num_files=num_files)
+    )
+
+    print()
+    rows = [
+        [
+            stack,
+            result["normalized"][stack]["create"],
+            result["normalized"][stack]["read"],
+            result["normalized"][stack]["delete"],
+        ]
+        for stack in ("ufs-regular", "ufs-vld", "lfs-regular", "lfs-vld")
+    ]
+    print(
+        format_table(
+            ["stack", "create", "read", "delete"],
+            rows,
+            title=(
+                f"Figure 6: small-file performance, {num_files} x 1 KB "
+                "(normalized to ufs-regular; higher is better)"
+            ),
+        )
+    )
+
+    normalized = result["normalized"]
+    # VLD accelerates UFS's synchronous create/delete substantially.
+    assert normalized["ufs-vld"]["create"] > 1.3
+    assert normalized["ufs-vld"]["delete"] > 2.0
+    # Reads are not helped (slightly hurt, within a band).
+    assert 0.6 < normalized["ufs-vld"]["read"] < 1.5
+    # LFS buffers metadata: asynchronous create/delete far ahead of UFS.
+    assert normalized["lfs-regular"]["create"] > 1.3
+    assert normalized["lfs-regular"]["delete"] > 2.0
+    # LFS reads are slower (user-level port, no read-ahead).
+    assert normalized["lfs-regular"]["read"] < 1.0

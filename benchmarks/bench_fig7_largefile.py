@@ -1,0 +1,55 @@
+"""Figure 7: large-file bandwidths per phase on the four stacks."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+from repro.workloads.largefile import LargeFileResult
+
+from .conftest import full_scale, run_once
+
+
+def test_figure7(benchmark):
+    file_mb = 10 if full_scale() else 4
+
+    result = run_once(
+        benchmark, lambda: experiments.figure7(file_mb=file_mb)
+    )
+
+    print()
+    rows = []
+    for stack in ("ufs-regular", "ufs-vld", "lfs-regular", "lfs-vld"):
+        row = [stack]
+        for phase in LargeFileResult.PHASES:
+            row.append(result[stack].get(phase, float("nan")))
+        rows.append(row)
+    print(
+        format_table(
+            ["stack", *LargeFileResult.PHASES],
+            rows,
+            title=f"Figure 7: large-file bandwidth, {file_mb} MB (MB/s)",
+        )
+    )
+
+    # Synchronous random writes: VLD far ahead of update-in-place.
+    assert (
+        result["ufs-vld"]["rand_write_sync"]
+        > 2 * result["ufs-regular"]["rand_write_sync"]
+    )
+    # Sequential read after random write collapses on log/eager layouts
+    # but not on update-in-place.
+    assert (
+        result["ufs-vld"]["seq_read_again"]
+        < 0.6 * result["ufs-vld"]["seq_read"]
+    )
+    assert (
+        result["lfs-regular"]["seq_read_again"]
+        < 0.8 * result["lfs-regular"]["seq_read"]
+    )
+    assert (
+        result["ufs-regular"]["seq_read_again"]
+        > 0.7 * result["ufs-regular"]["seq_read"]
+    )
+    # The VLD also speeds the *asynchronous* random writes (flush phase).
+    assert (
+        result["ufs-vld"]["rand_write_async"]
+        >= 0.9 * result["ufs-regular"]["rand_write_async"]
+    )

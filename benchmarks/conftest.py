@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures, prints the
+rows/series the paper reports (simulated time), and asserts the figure's
+qualitative shape.  ``pytest-benchmark`` wraps the run so wall-clock cost of
+the reproduction itself is also tracked.
+
+Set ``REPRO_BENCH_FULL=1`` for paper-scale workloads (slower); the default
+scale preserves every shape at a fraction of the runtime.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return 1.0 if full_scale() else 0.25
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

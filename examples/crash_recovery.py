@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Crash and recovery walk-through for every stack in the reproduction.
+
+Exercises the three recovery stories the paper tells:
+
+* the Virtual Log Disk's tail-record recovery and its scan fallback
+  (Section 3.2), with fault injection on the power-down record;
+* LFS checkpoint + roll-forward recovery;
+* LFS with NVRAM, whose buffer survives the crash.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro.blockdev import RegularDisk
+from repro.disk import Disk, ST19101
+from repro.hosts import SPARCSTATION_10
+from repro.lfs import LFS
+from repro.vlog import VirtualLogDisk
+
+
+def vld_story() -> None:
+    print("== Virtual Log Disk ==")
+    vld = VirtualLogDisk(Disk(ST19101))
+    rng = random.Random(1)
+    expected = {}
+    for _ in range(400):
+        lba = rng.randrange(vld.num_blocks)
+        payload = bytes([rng.randrange(256)]) * 4096
+        vld.write_block(lba, payload)
+        expected[lba] = payload
+
+    # Orderly power-down: the firmware stores the log tail.
+    vld.power_down()
+    vld.crash()
+    outcome = vld.recover()
+    ok = all(vld.read_block(l)[0] == p for l, p in expected.items())
+    print(
+        f"  power-down record: recovered {outcome.records_read} map "
+        f"records in {outcome.elapsed * 1e3:.0f} ms simulated "
+        f"(intact: {ok})"
+    )
+
+    # The rare failure: the power-down write was corrupted.
+    vld.power_down()
+    vld.power_store.corrupt()
+    vld.crash()
+    outcome = vld.recover()
+    ok = all(vld.read_block(l)[0] == p for l, p in expected.items())
+    print(
+        f"  corrupt record -> scan of {outcome.blocks_scanned} positions "
+        f"in {outcome.elapsed * 1e3:.0f} ms simulated (intact: {ok})"
+    )
+    print()
+
+
+def lfs_story(nvram: bool) -> None:
+    label = "LFS with NVRAM buffer" if nvram else "LFS (volatile buffer)"
+    print(f"== {label} ==")
+    fs = LFS(RegularDisk(Disk(ST19101)), SPARCSTATION_10, nvram=nvram)
+    fs.mkdir("/mail")
+    fs.create("/mail/inbox")
+    fs.write("/mail/inbox", 0, b"message one\n")
+    fs.checkpoint()
+
+    # Work past the checkpoint: flushed to the log, but not checkpointed.
+    fs.write("/mail/inbox", 4096, b"message two\n")
+    fs.sync()
+    # And work that never left the buffer at all.
+    fs.write("/mail/inbox", 8192, b"message three (buffered)\n")
+
+    fs.crash()
+    cost = fs.mount()
+    one, _ = fs.read("/mail/inbox", 0, 12)
+    two, _ = fs.read("/mail/inbox", 4096, 12)
+    three, _ = fs.read("/mail/inbox", 8192, 25)
+    print(f"  mount (checkpoint + roll-forward): "
+          f"{cost.total * 1e3:.0f} ms simulated")
+    print(
+        "  checkpointed data  : "
+        + ("safe" if one == b"message one\n" else "LOST")
+    )
+    print(
+        "  rolled-forward data: "
+        + ("safe" if two == b"message two\n" else "LOST")
+    )
+    survived = three == b"message three (buffered)\n"
+    print(
+        "  buffered-only data : "
+        + ("safe (NVRAM)" if survived else "lost (volatile DRAM)")
+    )
+    print()
+
+
+def main() -> None:
+    vld_story()
+    lfs_story(nvram=False)
+    lfs_story(nvram=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Transaction-commit latency: the paper's motivating application class.
+
+The introduction motivates fast small synchronous writes with recoverable
+virtual memory, persistent object stores, and databases: systems whose
+commit path is a small synchronous write.  This example models a tiny
+write-ahead-logging database running over UFS and measures transaction
+commit latency on an update-in-place disk versus a Virtual Log Disk, at a
+realistic disk utilization.
+
+Run:  python examples/database_commit.py
+"""
+
+import random
+
+from repro.blockdev import RegularDisk
+from repro.disk import Disk, ST19101
+from repro.hosts import SPARCSTATION_10
+from repro.sim.stats import LatencyRecorder
+from repro.ufs import UFS
+from repro.vlog import VirtualLogDisk
+
+_MB = 1 << 20
+PAGE = 4096
+
+
+class TinyDatabase:
+    """A minimal WAL database: commit = sync log append + page update."""
+
+    def __init__(self, fs, pages: int, rng: random.Random) -> None:
+        self.fs = fs
+        self.pages = pages
+        self.rng = rng
+        self.log_offset = 0
+        fs.create("/db.log")
+        fs.create("/db.pages")
+        # Preallocate the table space.
+        chunk = bytes(PAGE) * 64
+        for offset in range(0, pages * PAGE, len(chunk)):
+            fs.write("/db.pages", offset, chunk)
+        fs.sync()
+        fs.drop_caches()
+
+    def commit(self, recorder: LatencyRecorder) -> None:
+        """One transaction: update a random page, commit via the log."""
+        page = self.rng.randrange(self.pages)
+        payload = bytes([self.rng.randrange(256)]) * PAGE
+        total = self.fs.write(
+            "/db.log", self.log_offset, payload, sync=True
+        )
+        self.log_offset = (self.log_offset + PAGE) % (2 * _MB)
+        total.add(
+            self.fs.write("/db.pages", page * PAGE, payload, sync=True)
+        )
+        recorder.record(total)
+
+
+def run_atomic_vld(transactions: int, pages: int) -> LatencyRecorder:
+    """No WAL at all: the virtual log's native atomicity commits the page
+    update in a single atomic batch (Section 3.2's transaction claim)."""
+    from repro.vlog.transactions import TransactionalVLD
+
+    rng = random.Random(42)
+    tvld = TransactionalVLD(Disk(ST19101))
+    host = SPARCSTATION_10
+    recorder = LatencyRecorder()
+    for _ in range(transactions):
+        page = rng.randrange(pages)
+        payload = bytes([rng.randrange(256)]) * PAGE
+        breakdown = tvld.write_atomic([(page, payload)])
+        host_cost = host.request_overhead(1)
+        tvld.disk.clock.advance(host_cost)
+        breakdown.charge("other", host_cost)
+        recorder.record(breakdown)
+    return recorder
+
+
+def main() -> None:
+    transactions = 300
+    pages = (10 * _MB) // PAGE
+
+    print("Tiny WAL database: commit = sync log append + sync page write")
+    print(f"table space 10 MB, {transactions} transactions\n")
+
+    results = {}
+    for label, build in (
+        ("UFS on regular disk", lambda d: RegularDisk(d)),
+        ("UFS on virtual log disk", lambda d: VirtualLogDisk(d)),
+    ):
+        rng = random.Random(42)
+        disk = Disk(ST19101)
+        fs = UFS(build(disk), SPARCSTATION_10)
+        db = TinyDatabase(fs, pages, rng)
+        recorder = LatencyRecorder()
+        for _ in range(transactions):
+            db.commit(recorder)
+        results[label] = recorder
+        print(
+            f"  {label:26}: {recorder.mean() * 1e3:6.2f} ms/commit "
+            f"(p95 {recorder.percentile(0.95) * 1e3:6.2f} ms)"
+        )
+
+    atomic = run_atomic_vld(transactions, pages)
+    results["atomic VLD (no WAL)"] = atomic
+    print(
+        f"  {'atomic VLD (no WAL)':26}: {atomic.mean() * 1e3:6.2f} ms/commit "
+        f"(p95 {atomic.percentile(0.95) * 1e3:6.2f} ms)"
+    )
+
+    speedup = (
+        results["UFS on regular disk"].mean()
+        / results["UFS on virtual log disk"].mean()
+    )
+    atomic_speedup = (
+        results["UFS on regular disk"].mean() / atomic.mean()
+    )
+    print(f"\n  -> WAL commits are {speedup:.1f}x faster on the VLD: the log")
+    print("     append and the page update both land near the disk head")
+    print("     instead of paying a seek plus half a rotation each.")
+    print(f"  -> the virtual log's native atomicity goes {atomic_speedup:.1f}x:")
+    print("     the page update commits atomically by itself, so the")
+    print("     write-ahead log disappears entirely.")
+
+
+if __name__ == "__main__":
+    main()

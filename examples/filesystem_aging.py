@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""File system aging: mail-server-style churn on UFS, regular vs VLD.
+
+A long-running workload of small file creates, appends, and deletes (the
+shape of a mail spool or a package cache) ages the file system.  This
+example ages a UFS on both device types, then measures the three costs the
+paper's evaluation revolves around: small synchronous operations,
+steady-state write latency, and the read-locality price of eager writing
+-- including how much of that price the idle-time compactor buys back.
+
+Run:  python examples/filesystem_aging.py
+"""
+
+import random
+
+from repro.blockdev import RegularDisk
+from repro.disk import Disk, ST19101
+from repro.hosts import SPARCSTATION_10
+from repro.sim.stats import LatencyRecorder
+from repro.ufs import UFS
+from repro.vlog import VirtualLogDisk
+
+_MB = 1 << 20
+
+
+def age(fs, rng: random.Random, rounds: int = 900) -> None:
+    """Churn: create small files, append to some, delete others."""
+    alive = []
+    counter = 0
+    for _ in range(rounds):
+        action = rng.random()
+        if action < 0.5 or len(alive) < 10:
+            name = f"/mail{counter:06d}"
+            counter += 1
+            fs.create(name)
+            fs.write(name, 0, bytes([counter % 251]) * rng.randrange(512, 8192))
+            alive.append(name)
+        elif action < 0.75:
+            name = rng.choice(alive)
+            size = fs.stat(name).size
+            fs.write(name, size, b"appended line\n" * rng.randrange(1, 40))
+        else:
+            fs.unlink(alive.pop(rng.randrange(len(alive))))
+    fs.sync()
+
+
+def measure(fs, rng: random.Random, alive_hint: str):
+    """Post-aging costs: sync creates, sync updates, sequential read."""
+    sync_create = LatencyRecorder()
+    for i in range(50):
+        sync_create.record(fs.create(f"/probe{i:03d}"))
+    update = LatencyRecorder()
+    target = "/probe000"
+    fs.write(target, 0, bytes(4096) * 128)  # 512 KB working file
+    fs.sync()
+    for _ in range(100):
+        offset = rng.randrange(128) * 4096
+        update.record(fs.write(target, offset, b"u" * 4096, sync=True))
+    fs.drop_caches()
+    clock = fs.clock
+    start = clock.now
+    data, _ = fs.read(target, 0, 128 * 4096)
+    seq_bw = (len(data) / _MB) / (clock.now - start)
+    return sync_create.mean(), update.mean(), seq_bw
+
+
+def main() -> None:
+    print("Aging a UFS with mail-spool churn (create/append/delete)\n")
+    header = (
+        f"  {'device':22} {'create (ms)':>12} {'update (ms)':>12} "
+        f"{'seq read (MB/s)':>16}"
+    )
+    print(header)
+    for label, build, idle in (
+        ("regular disk", lambda d: RegularDisk(d), 0.0),
+        ("VLD (no idle)", lambda d: VirtualLogDisk(d), 0.0),
+        ("VLD + 2s compaction", lambda d: VirtualLogDisk(d), 2.0),
+    ):
+        rng = random.Random(7)
+        disk = Disk(ST19101)
+        device = build(disk)
+        fs = UFS(device, SPARCSTATION_10)
+        age(fs, rng)
+        if idle:
+            fs.idle(idle)
+        create_ms, update_ms, seq_bw = measure(fs, rng, label)
+        print(
+            f"  {label:22} {create_ms * 1e3:12.2f} {update_ms * 1e3:12.2f} "
+            f"{seq_bw:16.2f}"
+        )
+    print(
+        "\nEager writing keeps synchronous updates cheap even on an aged"
+        "\ndisk, and idle-time compaction restores create latency by"
+        "\nregenerating empty tracks.  Sequential reads pay a locality"
+        "\nprice that compaction does *not* recover -- the paper's"
+        "\ncompactor picks targets randomly and defers read-locality"
+        "\nreorganization to future work (Sections 3.4, 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

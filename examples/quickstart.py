@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: a Virtual Log Disk in five minutes.
+
+Creates a simulated Seagate ST19101, wraps it in a Virtual Log Disk, and
+demonstrates the paper's three headline properties:
+
+1. synchronous random writes at a fraction of update-in-place latency,
+2. atomicity: a crash loses nothing that was acknowledged,
+3. fast recovery from the firmware's power-down record -- with a scan
+   fallback when that record is damaged.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.blockdev import RegularDisk
+from repro.disk import Disk, ST19101
+from repro.vlog import VirtualLogDisk
+
+
+def main() -> None:
+    rng = random.Random(2026)
+
+    # -- 1. Eager writing vs update-in-place --------------------------
+    print("== 1. Random 4 KB synchronous writes ==")
+    results = {}
+    for label, build in (
+        ("update-in-place", lambda d: RegularDisk(d)),
+        ("virtual log disk", lambda d: VirtualLogDisk(d)),
+    ):
+        disk = Disk(ST19101)
+        device = build(disk)
+        total = 0.0
+        trials = 200
+        for i in range(trials):
+            lba = rng.randrange(device.num_blocks)
+            breakdown = device.write_block(lba, bytes([i % 251]) * 4096)
+            total += breakdown.total
+        results[label] = total / trials
+        print(f"  {label:18}: {results[label] * 1e3:6.3f} ms per write")
+    speedup = results["update-in-place"] / results["virtual log disk"]
+    print(f"  -> eager writing is {speedup:.1f}x faster\n")
+
+    # -- 2. Crash atomicity --------------------------------------------
+    print("== 2. Crash safety ==")
+    disk = Disk(ST19101)
+    vld = VirtualLogDisk(disk)
+    vld.write_block(7, b"acknowledged data" + bytes(4079))
+    vld.crash()  # power fails; no orderly shutdown
+    outcome = vld.recover()
+    data, _ = vld.read_block(7)
+    print(f"  recovery path: {'scan' if outcome.scanned else 'tail record'}")
+    print(f"  data survived: {data.startswith(b'acknowledged data')}\n")
+
+    # -- 3. Recovery cost: tail record vs scan -------------------------
+    print("== 3. Recovery cost ==")
+    disk = Disk(ST19101)
+    vld = VirtualLogDisk(disk)
+    for lba in range(500):
+        vld.write_block(lba, bytes([lba % 251]) * 4096)
+    vld.power_down()  # firmware records the log tail
+    vld.crash()
+    fast = vld.recover()
+    print(
+        f"  with power-down record: {fast.elapsed * 1e3:7.1f} ms "
+        f"({fast.records_read} map records read)"
+    )
+    vld.power_down()
+    vld.power_store.corrupt()  # inject the rare power-down failure
+    vld.crash()
+    slow = vld.recover()
+    print(
+        f"  checksum fails -> scan: {slow.elapsed * 1e3:7.1f} ms "
+        f"({slow.blocks_scanned} records examined)"
+    )
+    data, _ = vld.read_block(123)
+    print(f"  data intact after both recoveries: "
+          f"{data == bytes([123]) * 4096}")
+
+
+if __name__ == "__main__":
+    main()

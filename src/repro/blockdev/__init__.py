@@ -1,0 +1,12 @@
+"""Logical block devices: the interface file systems program against.
+
+Both the plain update-in-place disk and the Virtual Log Disk export this
+same interface, which is how the paper runs an *unmodified* UFS on either
+(Section 4: "Because both the regular disk and the VLD export the standard
+device driver interface...").
+"""
+
+from repro.blockdev.interface import BlockDevice
+from repro.blockdev.regular import RegularDisk
+
+__all__ = ["BlockDevice", "RegularDisk"]

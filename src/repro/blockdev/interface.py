@@ -1,0 +1,87 @@
+"""The standard block-device interface.
+
+A device exposes ``num_blocks`` logical blocks of ``block_size`` bytes.
+Reads return data plus a latency :class:`~repro.sim.stats.Breakdown`; writes
+return the breakdown.  Multi-block variants exist so log-structured file
+systems can hand whole segments to the device in one command, as the MIT
+logical disk does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+from repro.sim.stats import Breakdown
+
+
+class BlockDevice(abc.ABC):
+    """Abstract logical block device."""
+
+    block_size: int
+    num_blocks: int
+
+    @abc.abstractmethod
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        """Read one logical block."""
+
+    @abc.abstractmethod
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        """Write one logical block (zeros when ``data`` is omitted)."""
+
+    @abc.abstractmethod
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        """Read ``count`` logically contiguous blocks in one command."""
+
+    @abc.abstractmethod
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        """Write ``count`` logically contiguous blocks in one command."""
+
+    @abc.abstractmethod
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        """Write a sector-aligned byte range inside one block.
+
+        Used for UFS fragment writes (1 KB pieces of a 4 KB block).  An
+        update-in-place disk writes just the covered sectors; a virtual log
+        disk must read-modify-write the whole physical block -- the
+        "internal fragmentation ... biases against the performance of UFS
+        running on the VLD" of Section 4.2.
+        """
+
+    def idle(self, seconds: float) -> None:
+        """Let idle time pass at the device.
+
+        The regular disk just waits; the Virtual Log Disk spends the time
+        compacting free space with the drive's internal bandwidth
+        (Section 5.5).  Either way the clock ends up ``seconds`` later.
+        """
+        raise NotImplementedError
+
+    def check_lba(self, lba: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not (0 <= lba and lba + count <= self.num_blocks):
+            raise ValueError(
+                f"blocks [{lba}, {lba + count}) outside device of "
+                f"{self.num_blocks} blocks"
+            )
+
+    def check_data(self, data: Optional[bytes], count: int) -> bytes:
+        """Validate/normalise a data buffer for ``count`` blocks."""
+        expected = count * self.block_size
+        if data is None:
+            return bytes(expected)
+        if len(data) != expected:
+            raise ValueError(f"data length {len(data)} != {expected}")
+        return data
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_blocks * self.block_size
+
+
+def split_blocks(data: bytes, block_size: int) -> List[bytes]:
+    """Split a buffer into block-size pieces (the last may be short)."""
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)]

@@ -1,0 +1,73 @@
+"""The regular disk: a trivial logical-to-physical identity mapping.
+
+Logical block ``i`` lives at physical sectors ``[i * spb, (i+1) * spb)``.
+This is the update-in-place baseline: whatever locality the file system
+arranges in logical addresses is exactly the physical locality it gets --
+and every in-place update pays the seek plus (on average) half-rotation the
+paper's Section 2.1 contrasts eager writing against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.blockdev.interface import BlockDevice
+from repro.disk.disk import Disk
+from repro.sim.stats import Breakdown
+
+
+class RegularDisk(BlockDevice):
+    """Identity-mapped block device over a simulated disk."""
+
+    def __init__(self, disk: Disk, block_size: int = 4096) -> None:
+        if block_size % disk.sector_bytes != 0:
+            raise ValueError("block size must be a multiple of the sector size")
+        self.disk = disk
+        self.block_size = block_size
+        self.sectors_per_block = block_size // disk.sector_bytes
+        if disk.geometry.sectors_per_track % self.sectors_per_block != 0:
+            raise ValueError(
+                "blocks must not straddle track boundaries "
+                f"({disk.geometry.sectors_per_track} sectors/track, "
+                f"{self.sectors_per_block} sectors/block)"
+            )
+        self.num_blocks = disk.total_sectors // self.sectors_per_block
+
+    def _sector_of(self, lba: int) -> int:
+        return lba * self.sectors_per_block
+
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        return self.read_blocks(lba, 1)
+
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        return self.write_blocks(lba, 1, data)
+
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        self.check_lba(lba, count)
+        return self.disk.read(
+            self._sector_of(lba), count * self.sectors_per_block
+        )
+
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        self.check_lba(lba, count)
+        data = self.check_data(data, count)
+        return self.disk.write(
+            self._sector_of(lba), count * self.sectors_per_block, data
+        )
+
+    def idle(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError("idle time must be non-negative")
+        self.disk.clock.advance(seconds)
+
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        self.check_lba(lba, 1)
+        sector_bytes = self.disk.sector_bytes
+        if offset % sector_bytes != 0 or len(data) % sector_bytes != 0:
+            raise ValueError("partial writes must be sector aligned")
+        if offset + len(data) > self.block_size:
+            raise ValueError("partial write exceeds the block")
+        start = self._sector_of(lba) + offset // sector_bytes
+        return self.disk.write(start, len(data) // sector_bytes, data)

@@ -1,0 +1,250 @@
+"""The disk service-time engine.
+
+A :class:`Disk` owns the geometry, mechanics, head state, track buffer, and
+(optionally) the actual sector contents.  Each ``read``/``write`` advances
+the simulated clock by the request's service time and returns a
+:class:`~repro.sim.stats.Breakdown` separating SCSI command overhead,
+positioning ("locate"), and media transfer -- the components Figure 9 of the
+paper stacks.
+
+Because every layer in the paper's experiments issues requests synchronously,
+no event queue is needed: service times are computed closed-form from the
+head position and the platter's rotational position (a pure function of the
+simulated time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.disk.cache import ReadAheadPolicy, TrackBuffer
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.specs import DiskSpec
+from repro.sim.clock import SimClock
+from repro.sim.stats import Breakdown
+
+
+class Disk:
+    """A simulated rotating disk.
+
+    Args:
+        spec: Drive parameter set (e.g. :data:`~repro.disk.specs.HP97560`).
+        clock: Simulated clock; a fresh one is created when omitted.
+        num_cylinders: Cylinders to expose (defaults to the paper's
+            simulated slice, ``spec.sim_cylinders``).
+        readahead: Track-buffer policy.
+        store_data: Keep actual sector contents in memory.  Disable for
+            timing-only studies (e.g. the analytical-model validations).
+    """
+
+    def __init__(
+        self,
+        spec: DiskSpec,
+        clock: Optional[SimClock] = None,
+        num_cylinders: int = 0,
+        readahead: ReadAheadPolicy = ReadAheadPolicy.DARTMOUTH,
+        store_data: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.clock = clock if clock is not None else SimClock()
+        self.geometry = DiskGeometry(spec, num_cylinders)
+        self.mechanics = DiskMechanics(spec)
+        self.cache = TrackBuffer(readahead)
+        self.head_cylinder = 0
+        self.head_head = 0
+        self._data: Optional[bytearray] = (
+            bytearray(self.geometry.capacity_bytes) if store_data else None
+        )
+        # Statistics
+        self.reads = 0
+        self.writes = 0
+        self.sectors_read = 0
+        self.sectors_written = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection used by the eager-writing machinery
+    # ------------------------------------------------------------------
+
+    @property
+    def sector_bytes(self) -> int:
+        return self.spec.sector_bytes
+
+    @property
+    def total_sectors(self) -> int:
+        return self.geometry.total_sectors
+
+    def current_slot(self) -> float:
+        """The platter's angular position (sector slots) right now."""
+        return self.mechanics.rotational_slot(self.clock.now)
+
+    def slot_after(self, seconds: float) -> float:
+        """Angular position ``seconds`` from now."""
+        return self.mechanics.rotational_slot(self.clock.now + seconds)
+
+    # ------------------------------------------------------------------
+    # Data plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self, sector: int, count: int = 1) -> bytes:
+        """Read sector contents *without* advancing time (for tests/recovery
+        tooling that models out-of-band firmware access)."""
+        self._check_run(sector, count)
+        if self._data is None:
+            raise RuntimeError("disk was created with store_data=False")
+        lo = sector * self.sector_bytes
+        return bytes(self._data[lo : lo + count * self.sector_bytes])
+
+    def poke(self, sector: int, data: bytes) -> None:
+        """Write sector contents without advancing time (test helper)."""
+        if len(data) % self.sector_bytes != 0:
+            raise ValueError("data must be a whole number of sectors")
+        count = len(data) // self.sector_bytes
+        self._check_run(sector, count)
+        if self._data is None:
+            raise RuntimeError("disk was created with store_data=False")
+        lo = sector * self.sector_bytes
+        self._data[lo : lo + len(data)] = data
+        self.cache.note_write(sector, count)
+
+    def _check_run(self, sector: int, count: int) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+
+    # ------------------------------------------------------------------
+    # The service-time engine
+    # ------------------------------------------------------------------
+
+    def read(
+        self, sector: int, count: int = 1, charge_scsi: bool = True
+    ) -> Tuple[bytes, Breakdown]:
+        """Service a read request; returns (data, latency breakdown).
+
+        ``charge_scsi=False`` models an access issued *by the drive's own
+        processor* (the virtual log machinery), which pays mechanics but not
+        host-visible command overhead.
+        """
+        self._check_run(sector, count)
+        breakdown = Breakdown()
+        start = self.clock.now
+        if charge_scsi:
+            breakdown.charge("scsi", self.spec.scsi_overhead)
+            self.clock.advance(self.spec.scsi_overhead)
+        remaining = count
+        cursor = sector
+        while remaining > 0:
+            chunk = self._chunk_within_track(cursor, remaining)
+            self._service_read_chunk(cursor, chunk, breakdown)
+            cursor += chunk
+            remaining -= chunk
+        self.reads += 1
+        self.sectors_read += count
+        self.busy_time += self.clock.now - start
+        if self._data is None:
+            data = b""
+        else:
+            lo = sector * self.sector_bytes
+            data = bytes(self._data[lo : lo + count * self.sector_bytes])
+        return data, breakdown
+
+    def write(
+        self,
+        sector: int,
+        count: int = 1,
+        data: Optional[bytes] = None,
+        charge_scsi: bool = True,
+    ) -> Breakdown:
+        """Service a write request; returns the latency breakdown.
+
+        ``data`` must be ``count`` sectors long when given; when omitted,
+        zeros are written (timing studies don't care about contents).
+        """
+        self._check_run(sector, count)
+        if data is not None and len(data) != count * self.sector_bytes:
+            raise ValueError(
+                f"data length {len(data)} != {count} sectors "
+                f"({count * self.sector_bytes} bytes)"
+            )
+        breakdown = Breakdown()
+        start = self.clock.now
+        if charge_scsi:
+            breakdown.charge("scsi", self.spec.scsi_overhead)
+            self.clock.advance(self.spec.scsi_overhead)
+        remaining = count
+        cursor = sector
+        while remaining > 0:
+            chunk = self._chunk_within_track(cursor, remaining)
+            self._service_write_chunk(cursor, chunk, breakdown)
+            cursor += chunk
+            remaining -= chunk
+        if self._data is not None:
+            lo = sector * self.sector_bytes
+            payload = (
+                data if data is not None else bytes(count * self.sector_bytes)
+            )
+            self._data[lo : lo + len(payload)] = payload
+        self.cache.note_write(sector, count)
+        self.writes += 1
+        self.sectors_written += count
+        self.busy_time += self.clock.now - start
+        return breakdown
+
+    def _chunk_within_track(self, sector: int, remaining: int) -> int:
+        """Largest prefix of the request that stays on one track."""
+        per_track = self.geometry.sectors_per_track
+        room = per_track - (sector % per_track)
+        return min(remaining, room)
+
+    def _service_read_chunk(
+        self, sector: int, count: int, breakdown: Breakdown
+    ) -> None:
+        cylinder, head, _sect = self.geometry.decompose(sector)
+        track_lo = self.geometry.track_start(cylinder, head)
+        track_hi = track_lo + self.geometry.sectors_per_track
+        hit = self.cache.note_read(
+            (cylinder, head), track_lo, track_hi, sector, count
+        )
+        if hit:
+            # Served from the track buffer at (approximately) media rate;
+            # no arm or rotational involvement.
+            transfer = self.mechanics.transfer_time(count)
+            breakdown.charge("transfer", transfer)
+            self.clock.advance(transfer)
+            return
+        self._position_and_transfer(sector, count, breakdown)
+
+    def _service_write_chunk(
+        self, sector: int, count: int, breakdown: Breakdown
+    ) -> None:
+        self._position_and_transfer(sector, count, breakdown)
+
+    def _position_and_transfer(
+        self, sector: int, count: int, breakdown: Breakdown
+    ) -> None:
+        """Move the arm, wait for rotation, and transfer ``count`` sectors."""
+        cylinder, head, sect = self.geometry.decompose(sector)
+        positioning = self.mechanics.positioning_time(
+            self.head_cylinder, self.head_head, cylinder, head
+        )
+        if positioning > 0.0:
+            breakdown.charge("locate", positioning)
+            self.clock.advance(positioning)
+        self.head_cylinder = cylinder
+        self.head_head = head
+        target_slot = self.geometry.angle_of(cylinder, head, sect)
+        rotational = self.mechanics.wait_for_slot(self.clock.now, target_slot)
+        if rotational > 0.0:
+            breakdown.charge("locate", rotational)
+            self.clock.advance(rotational)
+        transfer = self.mechanics.transfer_time(count)
+        breakdown.charge("transfer", transfer)
+        self.clock.advance(transfer)
+
+    def __repr__(self) -> str:
+        return (
+            f"Disk({self.spec.name}, head=({self.head_cylinder},"
+            f"{self.head_head}), t={self.clock.now:.6f}s)"
+        )

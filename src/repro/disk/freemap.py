@@ -1,0 +1,183 @@
+"""Free-space map with rotational-position-aware queries.
+
+The eager-writing allocator (Section 4.2) needs to answer: *starting from
+this angular position on this track, how many sector slots pass before an
+aligned run of free sectors starts?*  :class:`FreeSpaceMap` keeps a
+per-sector bitmap plus per-track and per-cylinder free counts so those
+queries stay cheap even when called per write.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.disk.geometry import DiskGeometry
+
+
+class FreeSpaceMap:
+    """Tracks which physical sectors are free.
+
+    All sectors start *free*; callers mark regions used as they allocate.
+    """
+
+    def __init__(self, geometry: DiskGeometry) -> None:
+        self.geometry = geometry
+        self._free = bytearray(b"\x01" * geometry.total_sectors)
+        n_tracks = geometry.num_cylinders * geometry.tracks_per_cylinder
+        per_track = geometry.sectors_per_track
+        self._track_free: List[int] = [per_track] * n_tracks
+        self._cyl_free: List[int] = [
+            geometry.sectors_per_cylinder
+        ] * geometry.num_cylinders
+        self.free_sectors = geometry.total_sectors
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def _track_index(self, cylinder: int, head: int) -> int:
+        return cylinder * self.geometry.tracks_per_cylinder + head
+
+    def is_free(self, sector: int) -> bool:
+        self.geometry.check_sector(sector)
+        return bool(self._free[sector])
+
+    def run_is_free(self, sector: int, count: int) -> bool:
+        """True when all of ``sector .. sector+count-1`` are free."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+        return all(self._free[sector : sector + count])
+
+    def _set(self, sector: int, count: int, free: bool) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+        per_cyl = self.geometry.sectors_per_cylinder
+        per_track = self.geometry.sectors_per_track
+        value = 1 if free else 0
+        for s in range(sector, sector + count):
+            if self._free[s] == value:
+                continue
+            self._free[s] = value
+            delta = 1 if free else -1
+            self._track_free[s // per_track] += delta
+            self._cyl_free[s // per_cyl] += delta
+            self.free_sectors += delta
+
+    def mark_used(self, sector: int, count: int = 1) -> None:
+        """Mark a run of sectors as occupied."""
+        self._set(sector, count, free=False)
+
+    def mark_free(self, sector: int, count: int = 1) -> None:
+        """Mark a run of sectors as free (reusable)."""
+        self._set(sector, count, free=True)
+
+    def track_free_count(self, cylinder: int, head: int) -> int:
+        self.geometry.check_track(cylinder, head)
+        return self._track_free[self._track_index(cylinder, head)]
+
+    def cylinder_free_count(self, cylinder: int) -> int:
+        if not 0 <= cylinder < self.geometry.num_cylinders:
+            raise ValueError(f"cylinder {cylinder} out of range")
+        return self._cyl_free[cylinder]
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of sectors occupied, in [0, 1]."""
+        total = self.geometry.total_sectors
+        return (total - self.free_sectors) / total
+
+    # ------------------------------------------------------------------
+    # Rotational queries (the heart of eager writing)
+    # ------------------------------------------------------------------
+
+    def nearest_free_run(
+        self,
+        cylinder: int,
+        head: int,
+        start_slot: float,
+        count: int,
+        align: int = 1,
+    ) -> Optional[Tuple[float, int]]:
+        """Find the angularly nearest free aligned run on one track.
+
+        Args:
+            cylinder, head: The track to search.
+            start_slot: Angular position (in sector slots, possibly
+                fractional) the head will occupy when it is ready to write.
+            count: Number of contiguous sectors needed.
+            align: Run start must satisfy ``sector_in_track % align == 0``.
+
+        Returns:
+            ``(gap_slots, linear_sector)`` where ``gap_slots`` is the angular
+            distance (in sector slots) from ``start_slot`` to the start of
+            the run, or ``None`` if the track has no such run.
+        """
+        if count <= 0 or align <= 0:
+            raise ValueError("count and align must be positive")
+        geometry = self.geometry
+        n = geometry.sectors_per_track
+        if count > n:
+            return None
+        track_idx = self._track_index(cylinder, head)
+        if self._track_free[track_idx] < count:
+            return None
+        base = geometry.track_start(cylinder, head)
+        skew = geometry.skew_offset(cylinder, head)
+        best: Optional[Tuple[float, int]] = None
+        for sect in range(0, n - count + 1, align):
+            linear = base + sect
+            if not all(self._free[linear : linear + count]):
+                continue
+            angle = (sect + skew) % n
+            gap = (angle - start_slot) % n
+            if best is None or gap < best[0]:
+                best = (gap, linear)
+                if gap < align:
+                    # Cannot do better than landing within one aligned slot.
+                    break
+        return best
+
+    def nearest_free_in_cylinder(
+        self,
+        cylinder: int,
+        current_head: int,
+        start_slot: float,
+        count: int,
+        align: int = 1,
+        head_switch_slots: float = 0.0,
+    ) -> Optional[Tuple[float, int, int]]:
+        """Find the best free run across all tracks of one cylinder.
+
+        This is the two-way comparison of the paper's single-cylinder model
+        (Section 2.2): the current track competes against the other tracks,
+        whose candidates are penalised by the head-switch time expressed in
+        sector slots.
+
+        Returns ``(cost_slots, linear_sector, head)`` or ``None``.
+        """
+        best: Optional[Tuple[float, int, int]] = None
+        n = self.geometry.sectors_per_track
+        for head in range(self.geometry.tracks_per_cylinder):
+            penalty = 0.0 if head == current_head else head_switch_slots
+            found = self.nearest_free_run(cylinder, head, start_slot, count, align)
+            if found is None:
+                continue
+            gap, linear = found
+            if head != current_head and gap < penalty:
+                # The head cannot settle in time for this pass; the run is
+                # reachable only one full revolution later.
+                gap += n
+            if best is None or gap < best[0]:
+                best = (gap, linear, head)
+        return best
+
+    def free_sector_iter(self, cylinder: int, head: int):
+        """Yield linear sector numbers of free sectors on one track."""
+        base = self.geometry.track_start(cylinder, head)
+        for offset in range(self.geometry.sectors_per_track):
+            if self._free[base + offset]:
+                yield base + offset

@@ -1,0 +1,76 @@
+"""Disk mechanics: where the head is and how long movements take.
+
+The rotational position of the platter is a pure function of simulated time
+(the spindle never stops or slips in this model), so the service-time engine
+can compute rotational waits closed-form instead of stepping an event queue.
+"""
+
+from __future__ import annotations
+
+from repro.disk.specs import DiskSpec
+
+
+class DiskMechanics:
+    """Timing primitives derived from a :class:`DiskSpec`."""
+
+    def __init__(self, spec: DiskSpec) -> None:
+        self.spec = spec
+        self.rotation_time = spec.rotation_time
+        self.sector_time = spec.sector_time
+        self.sectors_per_track = spec.sectors_per_track
+
+    def rotational_slot(self, now: float) -> float:
+        """Continuous angular position (in sector slots) at time ``now``.
+
+        The integer part is the slot currently under the head; the fraction
+        is progress through that slot.
+        """
+        if now < 0.0:
+            raise ValueError("time must be non-negative")
+        frac = (now % self.rotation_time) / self.rotation_time
+        return frac * self.sectors_per_track
+
+    def wait_for_slot(self, now: float, target_slot: int) -> float:
+        """Seconds until the *start* of ``target_slot`` next passes the head.
+
+        Returns 0.0 only when the head is exactly at the slot boundary;
+        otherwise waits for the next pass (up to one full revolution minus
+        epsilon).
+        """
+        if not 0 <= target_slot < self.sectors_per_track:
+            raise ValueError(f"slot {target_slot} out of range")
+        position = self.rotational_slot(now)
+        delta = (target_slot - position) % self.sectors_per_track
+        return delta * self.sector_time
+
+    def transfer_time(self, sectors: int) -> float:
+        """Media transfer time for ``sectors`` contiguous sectors."""
+        if sectors < 0:
+            raise ValueError("sector count must be non-negative")
+        return sectors * self.sector_time
+
+    def seek_time(self, from_cylinder: int, to_cylinder: int) -> float:
+        """Seek between two cylinders (0.0 when they are equal)."""
+        return self.spec.seek_time(abs(to_cylinder - from_cylinder))
+
+    def head_switch_time(self, from_head: int, to_head: int) -> float:
+        """Electronic head-switch cost (0.0 when the head is unchanged)."""
+        if from_head == to_head:
+            return 0.0
+        return self.spec.head_switch_time
+
+    def positioning_time(
+        self,
+        from_cylinder: int,
+        from_head: int,
+        to_cylinder: int,
+        to_head: int,
+    ) -> float:
+        """Combined arm positioning cost.
+
+        Seeking and head switching proceed concurrently in modern drives,
+        so the cost is the maximum of the two, not the sum.
+        """
+        seek = self.seek_time(from_cylinder, to_cylinder)
+        switch = self.head_switch_time(from_head, to_head)
+        return max(seek, switch)

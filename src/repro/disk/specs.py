@@ -1,0 +1,186 @@
+"""Disk parameter sets (Table 1 of the paper).
+
+Two drives are modeled:
+
+* **HP97560** -- the well-validated Dartmouth/HP research model, roughly
+  eight years old at the paper's publication (1991 vintage).
+* **Seagate ST19101 (Cheetah 9LP)** -- the 1998 state of the art; like the
+  paper's version, a single-zone coarse approximation of the real multi-zone
+  drive.
+
+Table 1 values reproduced exactly:
+
+=====================  =========  =========
+Parameter              HP97560    ST19101
+=====================  =========  =========
+Sectors per track (n)  72         256
+Tracks per cylinder(t) 19         16
+Head switch (s)        2.5 ms     0.5 ms
+Minimum seek           3.6 ms     0.5 ms
+Rotation speed         4002 RPM   10000 RPM
+SCSI overhead (o)      2.3 ms     0.1 ms
+=====================  =========  =========
+
+The paper simulates 36 cylinders of the HP and 11 cylinders of the Seagate
+(~24 MB either way, limited by kernel memory); those defaults are recorded
+here as ``sim_cylinders``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static parameters of one disk model.
+
+    The seek curve follows the classic two-piece form used by the Dartmouth
+    model (Ruemmler & Wilkes): ``a + b * sqrt(d)`` for short seeks of ``d``
+    cylinders and ``c + e * d`` beyond ``seek_boundary`` cylinders.
+    """
+
+    name: str
+    sectors_per_track: int
+    tracks_per_cylinder: int
+    num_cylinders: int
+    sim_cylinders: int
+    rpm: float
+    head_switch_time: float
+    scsi_overhead: float
+    sector_bytes: int
+    seek_short_a: float
+    seek_short_b: float
+    seek_long_c: float
+    seek_long_e: float
+    seek_boundary: int
+
+    def __post_init__(self) -> None:
+        if self.sectors_per_track <= 0:
+            raise ValueError("sectors_per_track must be positive")
+        if self.tracks_per_cylinder <= 0:
+            raise ValueError("tracks_per_cylinder must be positive")
+        if self.rpm <= 0:
+            raise ValueError("rpm must be positive")
+        if self.sim_cylinders > self.num_cylinders:
+            raise ValueError("cannot simulate more cylinders than the drive has")
+
+    @property
+    def rotation_time(self) -> float:
+        """One full revolution, in seconds."""
+        return 60.0 / self.rpm
+
+    @property
+    def sector_time(self) -> float:
+        """Time for one sector to pass under the head, in seconds."""
+        return self.rotation_time / self.sectors_per_track
+
+    @property
+    def min_seek_time(self) -> float:
+        """Single-cylinder seek time (Table 1's 'Minimum Seek')."""
+        return self.seek_time(1)
+
+    @property
+    def track_bytes(self) -> int:
+        return self.sectors_per_track * self.sector_bytes
+
+    @property
+    def cylinder_bytes(self) -> int:
+        return self.track_bytes * self.tracks_per_cylinder
+
+    @property
+    def media_bandwidth(self) -> float:
+        """Sustained platter bandwidth in bytes/second."""
+        return self.track_bytes / self.rotation_time
+
+    @property
+    def track_skew_sectors(self) -> int:
+        """Skew between adjacent tracks so a head switch loses no revolution."""
+        return int(math.ceil(self.head_switch_time / self.sector_time)) + 1
+
+    @property
+    def cylinder_skew_sectors(self) -> int:
+        """Skew across a cylinder boundary covering a minimum seek."""
+        return int(math.ceil(self.min_seek_time / self.sector_time)) + 1
+
+    def seek_time(self, distance: int) -> float:
+        """Seconds to seek ``distance`` cylinders (0 for a zero-distance seek)."""
+        if distance < 0:
+            raise ValueError("seek distance must be non-negative")
+        if distance == 0:
+            return 0.0
+        if distance < self.seek_boundary:
+            return self.seek_short_a + self.seek_short_b * math.sqrt(distance)
+        return self.seek_long_c + self.seek_long_e * distance
+
+
+#: The HP97560 drive, seek curve from the Dartmouth technical report:
+#: 3.24 + 0.400 * sqrt(d) ms below 383 cylinders, 8.00 + 0.008 * d ms above.
+HP97560 = DiskSpec(
+    name="HP97560",
+    sectors_per_track=72,
+    tracks_per_cylinder=19,
+    num_cylinders=1962,
+    sim_cylinders=36,
+    rpm=4002.0,
+    head_switch_time=2.5e-3,
+    scsi_overhead=2.3e-3,
+    sector_bytes=512,
+    seek_short_a=3.24e-3,
+    seek_short_b=0.400e-3,
+    seek_long_c=8.00e-3,
+    seek_long_e=0.008e-3,
+    seek_boundary=383,
+)
+
+#: The Seagate ST19101 (Cheetah 9LP), single-zone approximation as in the
+#: paper.  Short-seek curve chosen so the single-cylinder seek matches the
+#: 0.5 ms of Table 1 and the full-stroke seek lands near the ~10 ms of the
+#: published Cheetah specifications.
+ST19101 = DiskSpec(
+    name="ST19101",
+    sectors_per_track=256,
+    tracks_per_cylinder=16,
+    num_cylinders=6962,
+    sim_cylinders=11,
+    rpm=10000.0,
+    head_switch_time=0.5e-3,
+    scsi_overhead=0.1e-3,
+    sector_bytes=512,
+    seek_short_a=0.30e-3,
+    seek_short_b=0.20e-3,
+    seek_long_c=4.00e-3,
+    seek_long_e=0.0008e-3,
+    seek_boundary=400,
+)
+
+#: A projected ~2004 drive, extrapolating the trends the paper banks on
+#: (Section 1): platter bandwidth +40 %/year, rotation to 15k RPM, seek
+#: and head-switch improving ~10 %/year, command overhead shrinking with
+#: controller CPUs.  Used by the trends-extension benchmark to test the
+#: paper's closing prediction that eager writing's advantage keeps
+#: growing.
+FUTURE2004 = DiskSpec(
+    name="FUTURE2004",
+    sectors_per_track=512,
+    tracks_per_cylinder=8,
+    num_cylinders=30000,
+    sim_cylinders=12,
+    rpm=15000.0,
+    head_switch_time=0.3e-3,
+    scsi_overhead=0.04e-3,
+    sector_bytes=512,
+    seek_short_a=0.20e-3,
+    seek_short_b=0.12e-3,
+    seek_long_c=3.00e-3,
+    seek_long_e=0.0002e-3,
+    seek_boundary=500,
+)
+
+#: Registry by short name, used by the harness configuration layer.
+DISKS = {
+    "hp97560": HP97560,
+    "st19101": ST19101,
+    "future2004": FUTURE2004,
+}

@@ -1,0 +1,40 @@
+"""Shared file system infrastructure.
+
+Common pieces used by the UFS, LFS, and VLFS implementations: the abstract
+file system API the workloads drive, path handling, the inode structure
+(12 direct + 1 single-indirect + 1 double-indirect block pointers), and the
+directory-file record format.
+"""
+
+from repro.fs.api import (
+    FileSystem,
+    FileStat,
+    FileSystemError,
+    FileNotFound,
+    FileExists,
+    NotADirectory,
+    IsADirectory,
+    DirectoryNotEmpty,
+    NoSpace,
+)
+from repro.fs.path import split_path, validate_name
+from repro.fs.inode import Inode, FileType, INODE_SIZE
+from repro.fs.dirfile import DirectoryBlock
+
+__all__ = [
+    "FileSystem",
+    "FileStat",
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "NoSpace",
+    "split_path",
+    "validate_name",
+    "Inode",
+    "FileType",
+    "INODE_SIZE",
+    "DirectoryBlock",
+]

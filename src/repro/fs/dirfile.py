@@ -1,0 +1,89 @@
+"""Directory file contents: the variable-length entry format.
+
+A directory is an ordinary file whose blocks hold a sequence of entries::
+
+    <inum:u32> <name_len:u16> <name bytes> ... padding ...
+
+Entries never cross block boundaries (as in FFS); deletion compacts the
+block in place.  This module only handles one block's worth of entries --
+file systems iterate their directory blocks through their normal data path,
+so directory reads and writes cost exactly what file I/O costs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_ENTRY_HEADER = struct.Struct("<IH")
+
+
+class DirectoryBlock:
+    """Parsed contents of one directory block."""
+
+    def __init__(self, block_size: int, entries: Optional[Dict[str, int]] = None):
+        self.block_size = block_size
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    # -- serialisation ----------------------------------------------------
+
+    def pack(self) -> bytes:
+        pieces: List[bytes] = []
+        used = 0
+        for name, inum in self.entries.items():
+            encoded = name.encode()
+            piece = _ENTRY_HEADER.pack(inum, len(encoded)) + encoded
+            used += len(piece)
+            pieces.append(piece)
+        if used > self.block_size:
+            raise ValueError("directory entries exceed one block")
+        pieces.append(bytes(self.block_size - used))
+        return b"".join(pieces)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "DirectoryBlock":
+        block = cls(len(raw))
+        offset = 0
+        while offset + _ENTRY_HEADER.size <= len(raw):
+            inum, name_len = _ENTRY_HEADER.unpack(
+                raw[offset : offset + _ENTRY_HEADER.size]
+            )
+            if name_len == 0:
+                break  # padding reached
+            offset += _ENTRY_HEADER.size
+            name = raw[offset : offset + name_len].decode()
+            offset += name_len
+            block.entries[name] = inum
+        return block
+
+    # -- editing ----------------------------------------------------------
+
+    def space_for(self, name: str) -> bool:
+        needed = _ENTRY_HEADER.size + len(name.encode())
+        return self.used_bytes() + needed <= self.block_size
+
+    def used_bytes(self) -> int:
+        return sum(
+            _ENTRY_HEADER.size + len(n.encode()) for n in self.entries
+        )
+
+    def add(self, name: str, inum: int) -> None:
+        if not self.space_for(name):
+            raise ValueError("directory block full")
+        self.entries[name] = inum
+
+    def remove(self, name: str) -> int:
+        return self.entries.pop(name)
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self.entries.get(name)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def iter_directory(blocks: Iterable[bytes], block_size: int) -> Iterable[Tuple[str, int]]:
+    """Yield (name, inum) across a directory's blocks."""
+    for raw in blocks:
+        for name, inum in DirectoryBlock.unpack(raw[:block_size]).entries.items():
+            yield name, inum

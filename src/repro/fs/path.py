@@ -1,0 +1,37 @@
+"""Path parsing shared by all file system implementations."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fs.api import FileSystemError
+
+#: Longest file name a directory entry can hold.
+MAX_NAME = 255
+
+
+def validate_name(name: str) -> str:
+    """Check one path component; returns it unchanged."""
+    if not name or name in (".", ".."):
+        raise FileSystemError(f"invalid name {name!r}")
+    if "/" in name or "\x00" in name:
+        raise FileSystemError(f"invalid character in name {name!r}")
+    if len(name.encode()) > MAX_NAME:
+        raise FileSystemError(f"name too long: {name!r}")
+    return name
+
+
+def split_path(path: str) -> List[str]:
+    """Split an absolute path into validated components."""
+    if not path.startswith("/"):
+        raise FileSystemError(f"path must be absolute: {path!r}")
+    parts = [p for p in path.split("/") if p]
+    return [validate_name(p) for p in parts]
+
+
+def dirname_basename(path: str) -> Tuple[List[str], str]:
+    """Parent components and final name; the path must not be the root."""
+    parts = split_path(path)
+    if not parts:
+        raise FileSystemError("operation not permitted on the root directory")
+    return parts[:-1], parts[-1]

@@ -1,0 +1,15 @@
+"""Experiment harness: builds the paper's stacks and regenerates every
+table and figure of the evaluation (Section 5)."""
+
+from repro.harness.configs import StackConfig, build_stack, STACKS
+from repro.harness import experiments
+from repro.harness.report import format_table, series_to_csv
+
+__all__ = [
+    "StackConfig",
+    "build_stack",
+    "STACKS",
+    "experiments",
+    "format_table",
+    "series_to_csv",
+]

@@ -1,0 +1,172 @@
+"""Command-line experiment runner: ``python -m repro.harness [names...]``.
+
+Regenerates the requested tables/figures (default: the quick set) and
+prints the paper-style rows.  ``--full`` uses paper-scale workloads.
+
+Examples::
+
+    python -m repro.harness table1 figure1
+    python -m repro.harness --full figure8
+    python -m repro.harness --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+from repro.sim.stats import COMPONENTS
+
+_QUICK = {
+    "figure1": dict(trials=150),
+    "figure2": dict(trials=20),
+    "figure6": dict(num_files=400),
+    "figure7": dict(file_mb=4),
+    "figure8": dict(
+        file_mbs=[2, 6, 10, 14, 17], updates=150, warmup=50,
+        lfs_updates=2500, lfs_warmup=1500,
+    ),
+    "table2": dict(updates=150, warmup=50),
+    "figure10": dict(
+        burst_kbs=[128, 504, 2016], idle_seconds=[0.0, 0.25, 1.0, 4.0],
+        bursts=4,
+    ),
+    "figure11": dict(
+        burst_kbs=[128, 512, 2048], idle_seconds=[0.0, 0.1, 0.3, 0.6],
+        bursts=4,
+    ),
+}
+
+_FULL = {
+    "figure1": dict(trials=500),
+    "figure2": dict(trials=80),
+    "figure6": dict(num_files=1500),
+    "figure7": dict(file_mb=10),
+    "figure8": dict(),
+    "table2": dict(),
+    "figure10": dict(),
+    "figure11": dict(),
+}
+
+_ALL = ["table1", "figure1", "figure2", "figure6", "figure7", "figure8",
+        "table2", "figure9", "figure10", "figure11"]
+
+
+def _print_result(name: str, result) -> None:
+    if name == "table1":
+        rows = [
+            [param, result["HP97560"][param], result["ST19101"][param]]
+            for param in result["HP97560"]
+        ]
+        print(format_table(["parameter", "HP97560", "ST19101"], rows,
+                           title="Table 1"))
+    elif name in ("figure1", "figure2"):
+        x_key = "free_fraction" if name == "figure1" else "threshold"
+        for disk, series in result.items():
+            rows = [
+                [x, m * 1e3, s * 1e3]
+                for x, m, s in zip(
+                    series[x_key],
+                    series["model_seconds"],
+                    series["simulated_seconds"],
+                )
+            ]
+            print(format_table(
+                [x_key, "model (ms)", "simulated (ms)"], rows,
+                title=f"{name} ({disk})",
+            ))
+            print()
+    elif name == "figure6":
+        rows = [
+            [stack, p["create"], p["read"], p["delete"]]
+            for stack, p in result["normalized"].items()
+        ]
+        print(format_table(
+            ["stack", "create", "read", "delete"], rows,
+            title="Figure 6 (normalized to ufs-regular)",
+        ))
+    elif name == "figure7":
+        phases = sorted({p for d in result.values() for p in d})
+        rows = [
+            [stack] + [bw.get(p, float("nan")) for p in phases]
+            for stack, bw in result.items()
+        ]
+        print(format_table(["stack", *phases], rows,
+                           title="Figure 7 (MB/s)"))
+    elif name == "figure8":
+        for system, series in result.items():
+            rows = list(zip(series["utilization"], series["latency_ms"]))
+            print(format_table(
+                ["utilization", "latency (ms)"], rows,
+                title=f"Figure 8: {system}",
+            ))
+            print()
+    elif name == "table2":
+        rows = [
+            [platform, e["update_in_place_ms"], e["virtual_log_ms"],
+             e["speedup"]]
+            for platform, e in result.items()
+        ]
+        print(format_table(
+            ["platform", "in-place (ms)", "vlog (ms)", "speedup"], rows,
+            title="Table 2",
+        ))
+    elif name == "figure9":
+        rows = [
+            [key, *(f"{e[c] * 100:.0f}%" for c in COMPONENTS),
+             e["total_ms"]]
+            for key, e in result.items()
+        ]
+        print(format_table(
+            ["platform/system", *COMPONENTS, "total (ms)"], rows,
+            title="Figure 9",
+        ))
+    elif name in ("figure10", "figure11"):
+        for burst, series in result.items():
+            rows = list(zip(series["idle_seconds"], series["latency_ms"]))
+            print(format_table(
+                ["idle (s)", "latency (ms)"], rows,
+                title=f"{name}: burst {burst}",
+            ))
+            print()
+    else:  # pragma: no cover - defensive
+        print(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", default=[],
+                        help="experiments to run (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale workloads (slower)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(_ALL))
+        return 0
+    names = args.names or _ALL
+    overrides = _FULL if args.full else _QUICK
+    for name in names:
+        if name not in _ALL:
+            print(f"unknown experiment {name!r}; try --list",
+                  file=sys.stderr)
+            return 2
+        fn = getattr(experiments, name)
+        kwargs = overrides.get(name, {})
+        start = time.time()
+        result = fn(**kwargs)
+        _print_result(name, result)
+        print(f"[{name} regenerated in {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

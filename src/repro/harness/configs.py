@@ -1,0 +1,92 @@
+"""Stack configurations: the four file system / disk combinations of
+Figure 5, on either drive and either host."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.blockdev.interface import BlockDevice
+from repro.blockdev.regular import RegularDisk
+from repro.disk.cache import ReadAheadPolicy
+from repro.disk.disk import Disk
+from repro.disk.specs import DISKS, DiskSpec
+from repro.fs.api import FileSystem
+from repro.hosts.specs import HOSTS, HostSpec
+from repro.lfs.lfs import LFS
+from repro.ufs.ufs import UFS
+from repro.vlog.vld import VirtualLogDisk
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """One experimental configuration."""
+
+    name: str
+    fs_type: str = "ufs"  # "ufs" | "lfs"
+    device_type: str = "regular"  # "regular" | "vld"
+    disk_name: str = "st19101"
+    host_name: str = "sparc10"
+    nvram: bool = False
+    num_cylinders: int = 0  # 0 = the spec's simulated default
+
+    def with_platform(self, disk_name: str, host_name: str) -> "StackConfig":
+        return replace(self, disk_name=disk_name, host_name=host_name)
+
+
+#: The paper's four standard stacks (Figure 5), on the default platform
+#: (Seagate disk, SPARCstation-10 host -- Section 5's stated default).
+STACKS = {
+    "ufs-regular": StackConfig("ufs-regular", "ufs", "regular"),
+    "ufs-vld": StackConfig("ufs-vld", "ufs", "vld"),
+    "lfs-regular": StackConfig("lfs-regular", "lfs", "regular"),
+    "lfs-vld": StackConfig("lfs-vld", "lfs", "vld"),
+}
+
+
+def build_stack(
+    config: StackConfig,
+) -> Tuple[FileSystem, Disk, BlockDevice]:
+    """Instantiate (file system, disk, device) for a configuration."""
+    spec: DiskSpec = DISKS[config.disk_name]
+    host: HostSpec = HOSTS[config.host_name]
+    if config.device_type == "vld":
+        # The paper's VLD read-ahead fix: prefetch whole tracks and retain.
+        disk = Disk(
+            spec,
+            num_cylinders=config.num_cylinders,
+            readahead=ReadAheadPolicy.FULL_TRACK,
+        )
+        device: BlockDevice = VirtualLogDisk(disk)
+    elif config.device_type == "regular":
+        disk = Disk(spec, num_cylinders=config.num_cylinders)
+        device = RegularDisk(disk)
+    else:
+        raise ValueError(f"unknown device type {config.device_type!r}")
+    if config.fs_type == "ufs":
+        fs: FileSystem = UFS(device, host)
+    elif config.fs_type == "lfs":
+        fs = LFS(device, host, nvram=config.nvram)
+    else:
+        raise ValueError(f"unknown fs type {config.fs_type!r}")
+    return fs, disk, device
+
+
+def utilization_of(fs: FileSystem, device: BlockDevice) -> float:
+    """Space utilization as the paper's ``df`` reading would report it."""
+    if isinstance(fs, UFS):
+        free_frags, _ = fs.alloc.free_space()
+        total = (
+            fs.layout.sb.num_groups
+            * fs.layout.sb.blocks_per_group
+            * fs.layout.frags_per_block
+        )
+        return (total - free_frags) / total
+    if isinstance(fs, LFS):
+        # Count NVRAM-resident dirty data as used space too -- it is live
+        # file content that simply has not reached the log yet.
+        live = sum(fs.segusage.live_bytes)
+        buffered = fs.cache.dirty_blocks * fs.block_size
+        total = fs.layout.sb.num_segments * fs.layout.segment_bytes
+        return min(1.0, (live + buffered) / total)
+    raise TypeError(f"unknown file system {type(fs)!r}")

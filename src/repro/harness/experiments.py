@@ -1,0 +1,400 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Every function returns a plain dict so benchmarks and tests can assert on
+the *shape* of the results (who wins, by what factor, where crossovers
+fall) without depending on formatting.  ``scale`` trades fidelity for
+runtime: 1.0 reproduces the paper's workload sizes; smaller values shrink
+file counts / update counts proportionally (used by the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.disk.specs import DISKS, HP97560, ST19101
+from repro.harness.configs import STACKS, StackConfig, build_stack, utilization_of
+from repro.harness.runner import simulate_locate_free, simulate_track_fill
+from repro.models.compactor import average_latency_closed_form
+from repro.models.cylinder import cylinder_expected_latency
+from repro.sim.stats import COMPONENTS
+from repro.workloads.bursts import run_bursts
+from repro.workloads.largefile import run_large_file
+from repro.workloads.random_update import prepare_file, run_random_updates
+from repro.workloads.smallfile import run_small_file
+
+_MB = 1 << 20
+
+
+# ======================================================================
+# Table 1
+# ======================================================================
+
+def table1() -> Dict[str, Dict[str, float]]:
+    """Disk parameters (Table 1) -- straight from the specs."""
+    result = {}
+    for spec in (HP97560, ST19101):
+        result[spec.name] = {
+            "sectors_per_track": spec.sectors_per_track,
+            "tracks_per_cylinder": spec.tracks_per_cylinder,
+            "head_switch_ms": spec.head_switch_time * 1e3,
+            "min_seek_ms": spec.min_seek_time * 1e3,
+            "rpm": spec.rpm,
+            "scsi_overhead_ms": spec.scsi_overhead * 1e3,
+        }
+    return result
+
+
+# ======================================================================
+# Figure 1: time to locate a free sector vs free space
+# ======================================================================
+
+def figure1(
+    fractions: Optional[Sequence[float]] = None,
+    trials: int = 300,
+    seed: int = 1,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Model vs simulation of free-sector locate time, both disks."""
+    if fractions is None:
+        fractions = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    result: Dict[str, Dict[str, List[float]]] = {}
+    for spec in (HP97560, ST19101):
+        model = [cylinder_expected_latency(spec, p) for p in fractions]
+        simulated = [
+            simulate_locate_free(spec, p, trials=trials, seed=seed)
+            for p in fractions
+        ]
+        result[spec.name] = {
+            "free_fraction": list(fractions),
+            "model_seconds": model,
+            "simulated_seconds": simulated,
+        }
+    return result
+
+
+# ======================================================================
+# Figure 2: latency vs track-switch threshold
+# ======================================================================
+
+def figure2(
+    thresholds: Optional[Sequence[float]] = None,
+    trials: int = 40,
+    seed: int = 2,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Model vs simulation of the compactor-assisted track-fill regime.
+
+    ``thresholds`` are the fraction of free sectors *reserved* per track
+    before switching (the paper's x-axis; high = frequent switches).
+    """
+    if thresholds is None:
+        thresholds = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    result: Dict[str, Dict[str, List[float]]] = {}
+    for spec in (HP97560, ST19101):
+        n = spec.sectors_per_track
+        model = []
+        simulated = []
+        for threshold in thresholds:
+            m = max(0, min(n - 1, int(round(threshold * n))))
+            model.append(
+                average_latency_closed_form(
+                    n, m, spec.head_switch_time, spec.sector_time
+                )
+            )
+            simulated.append(
+                simulate_track_fill(spec, threshold, trials=trials, seed=seed)
+            )
+        result[spec.name] = {
+            "threshold": list(thresholds),
+            "model_seconds": model,
+            "simulated_seconds": simulated,
+        }
+    return result
+
+
+# ======================================================================
+# Figure 6: small-file create/read/delete
+# ======================================================================
+
+def figure6(
+    num_files: int = 1500,
+    disk_name: str = "st19101",
+    host_name: str = "sparc10",
+) -> Dict[str, Dict[str, float]]:
+    """Per-stack phase times, plus normalisation to UFS-on-regular."""
+    raw: Dict[str, Dict[str, float]] = {}
+    for name, base in STACKS.items():
+        config = base.with_platform(disk_name, host_name)
+        fs, _disk, _device = build_stack(config)
+        outcome = run_small_file(fs, num_files=num_files)
+        raw[name] = {
+            "create": outcome.create_seconds,
+            "read": outcome.read_seconds,
+            "delete": outcome.delete_seconds,
+        }
+    baseline = raw["ufs-regular"]
+    normalized = {
+        name: {
+            phase: baseline[phase] / seconds if seconds > 0 else float("inf")
+            for phase, seconds in phases.items()
+        }
+        for name, phases in raw.items()
+    }
+    return {"seconds": raw, "normalized": normalized}
+
+
+# ======================================================================
+# Figure 7: large-file bandwidths
+# ======================================================================
+
+def figure7(
+    file_mb: float = 10.0,
+    disk_name: str = "st19101",
+    host_name: str = "sparc10",
+) -> Dict[str, Dict[str, float]]:
+    """Per-stack bandwidths for the six large-file phases (MB/s)."""
+    result: Dict[str, Dict[str, float]] = {}
+    for name, base in STACKS.items():
+        config = base.with_platform(disk_name, host_name)
+        fs, _disk, _device = build_stack(config)
+        outcome = run_large_file(
+            fs,
+            file_bytes=int(file_mb * _MB),
+            include_sync_phase=config.fs_type == "ufs",
+        )
+        result[name] = dict(outcome.bandwidths)
+    return result
+
+
+# ======================================================================
+# Figure 8: random synchronous updates vs disk utilization
+# ======================================================================
+
+def figure8(
+    file_mbs: Optional[Sequence[float]] = None,
+    updates: int = 300,
+    warmup: int = 100,
+    lfs_updates: int = 2500,
+    lfs_warmup: int = 2000,
+    disk_name: str = "st19101",
+    host_name: str = "sparc10",
+) -> Dict[str, Dict[str, List[float]]]:
+    """Latency-vs-utilization curves for the three Figure 8 systems.
+
+    The LFS-with-NVRAM runs need enough updates to overflow the 6.1 MB
+    buffer repeatedly (the steady state the paper measures), hence the
+    larger ``lfs_updates``/``lfs_warmup`` defaults.
+    """
+    if file_mbs is None:
+        file_mbs = [1, 2, 4, 6, 8, 10, 12, 14, 16, 17, 18]
+    systems = {
+        "ufs-regular": StackConfig(
+            "ufs-regular", "ufs", "regular", disk_name, host_name
+        ),
+        "ufs-vld": StackConfig(
+            "ufs-vld", "ufs", "vld", disk_name, host_name
+        ),
+        "lfs-nvram-regular": StackConfig(
+            "lfs-nvram-regular", "lfs", "regular", disk_name, host_name,
+            nvram=True,
+        ),
+    }
+    result: Dict[str, Dict[str, List[float]]] = {}
+    for name, config in systems.items():
+        utilizations: List[float] = []
+        latencies: List[float] = []
+        for file_mb in file_mbs:
+            if config.fs_type == "lfs":
+                point = _figure8_point(
+                    config, file_mb, lfs_updates, lfs_warmup
+                )
+            else:
+                point = _figure8_point(config, file_mb, updates, warmup)
+            if point is None:
+                continue
+            utilization, latency = point
+            utilizations.append(utilization)
+            latencies.append(latency)
+        result[name] = {
+            "utilization": utilizations,
+            "latency_ms": [v * 1e3 for v in latencies],
+        }
+    return result
+
+
+def _figure8_point(
+    config: StackConfig, file_mb: float, updates: int, warmup: int
+):
+    from repro.fs.api import NoSpace
+
+    fs, _disk, device = build_stack(config)
+    file_bytes = int(file_mb * _MB)
+    try:
+        prepare_file(fs, "/target", file_bytes)
+        recorder = run_random_updates(
+            fs, "/target", file_bytes, updates, warmup=warmup
+        )
+    except NoSpace:
+        return None
+    return utilization_of(fs, device), recorder.mean()
+
+
+# ======================================================================
+# Table 2 and Figure 9: technology trends and latency breakdown
+# ======================================================================
+
+PLATFORMS = (
+    ("hp97560", "sparc10"),
+    ("st19101", "sparc10"),
+    ("st19101", "ultra170"),
+)
+
+
+def table2(
+    utilization: float = 0.8,
+    updates: int = 300,
+    warmup: int = 100,
+    compact_seconds: float = 20.0,
+) -> Dict[str, Dict[str, float]]:
+    """Update-in-place vs virtual-log gap across platforms (Table 2),
+    with the Figure 9 component breakdowns of the same runs."""
+    result: Dict[str, Dict[str, float]] = {}
+    for disk_name, host_name in PLATFORMS:
+        spec = DISKS[disk_name]
+        capacity = (
+            spec.sim_cylinders
+            * spec.tracks_per_cylinder
+            * spec.sectors_per_track
+            * spec.sector_bytes
+        )
+        file_bytes = int(utilization * capacity)
+        latencies = {}
+        fractions = {}
+        for device_type in ("regular", "vld"):
+            config = StackConfig(
+                f"ufs-{device_type}", "ufs", device_type, disk_name, host_name
+            )
+            fs, _disk, device = build_stack(config)
+            prepare_file(fs, "/target", file_bytes)
+            # Footnote 1 of the paper: "The VLD latency in this case is
+            # measured immediately after running a compactor."  Idle time
+            # lets the compactor consolidate free space into empty tracks
+            # (a no-op on the regular disk).
+            device.idle(compact_seconds)
+            recorder = run_random_updates(
+                fs, "/target", file_bytes, updates, warmup=warmup
+            )
+            latencies[device_type] = recorder.mean()
+            fractions[device_type] = recorder.component_fractions()
+        key = f"{disk_name}+{host_name}"
+        entry: Dict[str, float] = {
+            "update_in_place_ms": latencies["regular"] * 1e3,
+            "virtual_log_ms": latencies["vld"] * 1e3,
+            "speedup": latencies["regular"] / latencies["vld"],
+        }
+        for component in COMPONENTS:
+            entry[f"regular_{component}"] = fractions["regular"][component]
+            entry[f"vld_{component}"] = fractions["vld"][component]
+        result[key] = entry
+    return result
+
+
+def figure9(
+    utilization: float = 0.8, updates: int = 300, warmup: int = 100
+) -> Dict[str, Dict[str, float]]:
+    """Latency breakdowns (same runs as Table 2, reshaped per Figure 9)."""
+    table = table2(utilization, updates, warmup)
+    result: Dict[str, Dict[str, float]] = {}
+    for platform, entry in table.items():
+        for device in ("regular", "vld"):
+            key = f"{platform}/{device}"
+            result[key] = {
+                component: entry[f"{device}_{component}"]
+                for component in COMPONENTS
+            }
+            result[key]["total_ms"] = entry[
+                "update_in_place_ms" if device == "regular" else "virtual_log_ms"
+            ]
+    return result
+
+
+# ======================================================================
+# Figures 10 and 11: the value of idle time
+# ======================================================================
+
+def figure10(
+    burst_kbs: Optional[Sequence[int]] = None,
+    idle_seconds: Optional[Sequence[float]] = None,
+    utilization: float = 0.8,
+    bursts: int = 6,
+    disk_name: str = "st19101",
+    host_name: str = "sparc10",
+) -> Dict[str, Dict[str, List[float]]]:
+    """LFS (with NVRAM) latency vs idle-interval length (Figure 10)."""
+    if burst_kbs is None:
+        burst_kbs = [128, 256, 504, 1008, 2016, 4032]
+    if idle_seconds is None:
+        idle_seconds = [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    config = StackConfig(
+        "lfs-nvram-regular", "lfs", "regular", disk_name, host_name,
+        nvram=True,
+    )
+    return _idle_sweep(
+        config, burst_kbs, idle_seconds, utilization, bursts
+    )
+
+
+def figure11(
+    burst_kbs: Optional[Sequence[int]] = None,
+    idle_seconds: Optional[Sequence[float]] = None,
+    utilization: float = 0.8,
+    bursts: int = 6,
+    disk_name: str = "st19101",
+    host_name: str = "sparc10",
+) -> Dict[str, Dict[str, List[float]]]:
+    """UFS on the VLD latency vs idle-interval length (Figure 11)."""
+    if burst_kbs is None:
+        burst_kbs = [128, 256, 512, 1024, 2048, 4096]
+    if idle_seconds is None:
+        idle_seconds = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+    config = StackConfig(
+        "ufs-vld", "ufs", "vld", disk_name, host_name
+    )
+    return _idle_sweep(
+        config, burst_kbs, idle_seconds, utilization, bursts
+    )
+
+
+def _idle_sweep(
+    config: StackConfig,
+    burst_kbs: Sequence[int],
+    idle_seconds: Sequence[float],
+    utilization: float,
+    bursts: int,
+) -> Dict[str, Dict[str, List[float]]]:
+    spec = DISKS[config.disk_name]
+    capacity = (
+        spec.sim_cylinders
+        * spec.tracks_per_cylinder
+        * spec.sectors_per_track
+        * spec.sector_bytes
+    )
+    file_bytes = int(utilization * capacity)
+    result: Dict[str, Dict[str, List[float]]] = {}
+    for burst_kb in burst_kbs:
+        latencies: List[float] = []
+        for idle in idle_seconds:
+            fs, _disk, _device = build_stack(config)
+            prepare_file(fs, "/target", file_bytes)
+            recorder = run_bursts(
+                fs,
+                "/target",
+                file_bytes,
+                burst_bytes=burst_kb << 10,
+                idle_seconds=idle,
+                bursts=bursts,
+            )
+            latencies.append(recorder.mean())
+        result[f"{burst_kb}K"] = {
+            "idle_seconds": list(idle_seconds),
+            "latency_ms": [v * 1e3 for v in latencies],
+        }
+    return result

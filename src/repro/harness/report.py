@@ -1,0 +1,48 @@
+"""Plain-text table and CSV formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        rendered[0][i].ljust(widths[i]) for i in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered[1:]:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def series_to_csv(series: Dict[str, Sequence[float]]) -> str:
+    """Columns keyed by name -> CSV text (column per key)."""
+    keys = list(series)
+    length = max(len(v) for v in series.values()) if series else 0
+    lines = [",".join(keys)]
+    for i in range(length):
+        cells = []
+        for key in keys:
+            values = series[key]
+            cells.append(f"{values[i]:.6g}" if i < len(values) else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Host machine models (Section 4 / Figure 9's ``other`` component)."""
+
+from repro.hosts.specs import (
+    HostSpec,
+    SPARCSTATION_10,
+    ULTRASPARC_170,
+    HOSTS,
+)
+
+__all__ = ["HostSpec", "SPARCSTATION_10", "ULTRASPARC_170", "HOSTS"]

@@ -1,0 +1,113 @@
+"""Checkpoint regions: persisting the inode map and segment usage table.
+
+Two slots alternate (classic LFS); each is a header block with sequence
+number and CRC followed by the packed inode map and segment usage table.
+Mounting picks the valid slot with the highest sequence number and rolls
+the log forward from there using segment summaries.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.blockdev.interface import BlockDevice
+from repro.lfs.inode_map import InodeMap, SegmentUsage
+from repro.lfs.layout import LFSLayout
+from repro.sim.stats import Breakdown
+
+_HDR = struct.Struct("<8sQQIdI")
+_MAGIC = b"LFSCHKPT"
+
+
+@dataclass
+class CheckpointHeader:
+    seqno: int
+    flush_seqno: int
+    payload_blocks: int
+    timestamp: float
+
+
+class CheckpointStore:
+    """Reads and writes the two alternating checkpoint slots."""
+
+    def __init__(self, device: BlockDevice, layout: LFSLayout) -> None:
+        self.device = device
+        self.layout = layout
+        self._next_slot = 0
+        self._next_seqno = 1
+
+    def write(
+        self,
+        imap: InodeMap,
+        usage: SegmentUsage,
+        flush_seqno: int,
+        now: float,
+    ) -> Breakdown:
+        """Persist a checkpoint into the next slot."""
+        payload = imap.pack() + usage.pack()
+        block_size = self.layout.block_size
+        payload_blocks = -(-len(payload) // block_size)
+        padded = payload + bytes(payload_blocks * block_size - len(payload))
+        crc = zlib.crc32(padded) & 0xFFFFFFFF
+        header = _HDR.pack(
+            _MAGIC, self._next_seqno, flush_seqno, payload_blocks, now, crc
+        )
+        header_block = header + bytes(block_size - len(header))
+        start = self.layout.checkpoint_slot_start(self._next_slot)
+        breakdown = self.device.write_blocks(
+            start, 1 + payload_blocks, header_block + padded
+        )
+        self._next_slot = (self._next_slot + 1) % LFSLayout.CHECKPOINT_SLOTS
+        self._next_seqno += 1
+        return breakdown
+
+    def read_latest(
+        self, imap: InodeMap, usage: SegmentUsage
+    ) -> Tuple[Optional[CheckpointHeader], Breakdown]:
+        """Load the newest valid checkpoint into ``imap``/``usage``."""
+        breakdown = Breakdown()
+        best: Optional[Tuple[CheckpointHeader, bytes]] = None
+        for slot in range(LFSLayout.CHECKPOINT_SLOTS):
+            result = self._read_slot(slot, breakdown)
+            if result is None:
+                continue
+            header, payload = result
+            if best is None or header.seqno > best[0].seqno:
+                best = (header, payload)
+        if best is None:
+            return None, breakdown
+        header, payload = best
+        imap.load(payload)
+        usage.load(payload[imap.max_inodes * 4 :])
+        self._next_seqno = header.seqno + 1
+        # Continue writing into the slot after the one we recovered from.
+        self._next_slot = (header.seqno) % LFSLayout.CHECKPOINT_SLOTS
+        return header, breakdown
+
+    def _read_slot(
+        self, slot: int, breakdown: Breakdown
+    ) -> Optional[Tuple[CheckpointHeader, bytes]]:
+        start = self.layout.checkpoint_slot_start(slot)
+        raw, cost = self.device.read_block(start)
+        breakdown.add(cost)
+        if len(raw) < _HDR.size:
+            return None
+        magic, seqno, flush_seqno, nblocks, ts, crc = _HDR.unpack(
+            raw[: _HDR.size]
+        )
+        if magic != _MAGIC or nblocks <= 0:
+            return None
+        payload, cost = self.device.read_blocks(start + 1, nblocks)
+        breakdown.add(cost)
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return None
+        header = CheckpointHeader(
+            seqno=seqno,
+            flush_seqno=flush_seqno,
+            payload_blocks=nblocks,
+            timestamp=ts,
+        )
+        return header, payload

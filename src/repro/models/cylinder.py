@@ -1,0 +1,88 @@
+"""The single-cylinder model (Section 2.2).
+
+The expected latency is the expectation of ``min(x, y)`` where ``x`` is the
+rotational delay (in sector slots) to the nearest free sector on the current
+track and ``y`` the delay to the nearest free sector on any *other* track of
+the cylinder, penalised by the head-switch time::
+
+    E = sum_x sum_y min(x, y) * f_x(p, x) * f_y(p, y)            (2)
+    f_x(p, x) = p * (1 - p) ** x                                 (3)
+    f_y(p, y) = f_x(1 - (1 - p) ** (t - 1), y - s)               (4)
+
+Section 2.2 (Figure 1) shows this is a good approximation for a whole zone:
+nearby cylinders are not much more likely than the current one to have a
+free sector at a better rotational position, and the head-switch time is
+close to a single-cylinder seek.
+"""
+
+from __future__ import annotations
+
+from repro.disk.specs import DiskSpec
+
+#: Probability mass below which distribution tails are truncated.
+_TAIL_EPS = 1e-12
+
+
+def _geometric_pmf(p: float, max_terms: int):
+    """Yield (value, probability) for f_x(p, x) = p (1-p)^x, truncated."""
+    if p <= 0.0:
+        return
+    prob = p
+    for x in range(max_terms):
+        yield x, prob
+        prob *= 1.0 - p
+        if prob < _TAIL_EPS:
+            break
+
+
+def cylinder_expected_skip_sectors(
+    n: int, t: int, p: float, head_switch_slots: float
+) -> float:
+    """Formula (2): expected delay in sector slots for a whole cylinder.
+
+    Args:
+        n: Sectors per track.
+        t: Tracks per cylinder.
+        p: Free-space fraction in (0, 1].
+        head_switch_slots: Head-switch cost ``s`` expressed in sector slots.
+
+    Returns:
+        Expected rotational slots before a write can begin.  Falls back to
+        the single-track expectation when the cylinder has one track.
+    """
+    if n <= 0 or t <= 0:
+        raise ValueError("n and t must be positive")
+    if not 0.0 < p <= 1.0:
+        raise ValueError("free-space fraction p must lie in (0, 1]")
+    if head_switch_slots < 0.0:
+        raise ValueError("head-switch cost must be non-negative")
+    max_terms = max(8 * n, 64)
+    if t == 1:
+        return sum(x * fx for x, fx in _geometric_pmf(p, max_terms))
+    # Probability that a given rotational position is free on at least one
+    # of the other (t - 1) tracks.
+    p_other = 1.0 - (1.0 - p) ** (t - 1)
+    expectation = 0.0
+    for x, fx in _geometric_pmf(p, max_terms):
+        for j, fy in _geometric_pmf(p_other, max_terms):
+            y = j + head_switch_slots
+            expectation += min(x, y) * fx * fy
+    return expectation
+
+
+def cylinder_expected_latency(spec: DiskSpec, p: float) -> float:
+    """Expected locate latency in *seconds* for a drive at free fraction ``p``."""
+    slots = cylinder_expected_skip_sectors(
+        n=spec.sectors_per_track,
+        t=spec.tracks_per_cylinder,
+        p=p,
+        head_switch_slots=spec.head_switch_time / spec.sector_time,
+    )
+    return slots * spec.sector_time
+
+
+def single_track_latency(spec: DiskSpec, p: float) -> float:
+    """Single-track model (1) in seconds, for comparison plots."""
+    from repro.models.single_track import expected_skip_sectors
+
+    return expected_skip_sectors(spec.sectors_per_track, p) * spec.sector_time

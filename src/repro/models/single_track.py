@@ -1,0 +1,83 @@
+"""The single-track model (Section 2.1, Appendix A.1).
+
+With ``n`` sectors per track, free-space fraction ``p``, and randomly
+distributed free space, the expected number of occupied sectors the head
+skips before reaching a free one is::
+
+    (1 - p) * n / (1 + p * n)                                   (1)
+
+which is the closed form of the recurrence::
+
+    E(n, k) = (n - k) / n * (1 + E(n - 1, k)),   E(n, n) = 0     (7)
+    E(n, k) = (n - k) / (1 + k)                                  (8)
+
+The paper's headline observation: this is roughly the ratio of occupied to
+free sectors, so even at 80 % utilization only ~4 sector slots pass before a
+free sector -- under 100 microseconds on a 1998 drive, versus the ~3 ms
+half-rotation floor of update-in-place.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def expected_skip_sectors(n: int, p: float) -> float:
+    """Formula (1): expected sectors skipped before the first free sector.
+
+    Args:
+        n: Sectors per track.
+        p: Free-space fraction in [0, 1].
+
+    Returns:
+        Expected number of occupied sectors passed (a rotational delay in
+        units of sector slots).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("free-space fraction p must lie in [0, 1]")
+    return (1.0 - p) * n / (1.0 + p * n)
+
+
+@lru_cache(maxsize=None)
+def expected_skip_recurrence(n: int, k: int) -> float:
+    """Recurrence (7), solved exactly: expected skips with ``k`` free of ``n``.
+
+    Provided both as an independent check of the closed form (8) and for
+    exact small-track computations.  Raises when ``k`` is zero (a full track
+    has no free sector to find).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < k <= n:
+        raise ValueError("k must satisfy 0 < k <= n")
+    if k == n:
+        return 0.0
+    return (n - k) / n * (1.0 + expected_skip_recurrence(n - 1, k))
+
+
+def expected_block_locate_sectors(n: int, p: float, logical: int, physical: int) -> float:
+    """Formula (9): expected locate cost for a logical block, in sector slots.
+
+    Args:
+        n: Sectors per track.
+        p: Free-space fraction.
+        logical: File system logical block size ``B`` in sectors.
+        physical: Disk physical block size ``b`` in sectors (``b <= B`` and
+            ``b`` divides ``B``).
+
+    Returns:
+        Expected total slots skipped locating all free space for one logical
+        block.  Minimised when ``physical == logical`` -- the reason the VLD
+        uses 4 KB physical blocks (Section 4.2).
+    """
+    if logical <= 0 or physical <= 0:
+        raise ValueError("block sizes must be positive")
+    if physical > logical:
+        raise ValueError("physical block cannot exceed the logical block")
+    if logical % physical != 0:
+        raise ValueError("physical block size must divide the logical size")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("free-space fraction p must lie in [0, 1]")
+    return (1.0 - p) * n / (physical + p * n) * logical

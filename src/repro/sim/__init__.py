@@ -1,0 +1,22 @@
+"""Simulation plumbing: the simulated clock and latency accounting.
+
+Everything in this reproduction runs against a :class:`~repro.sim.clock.SimClock`
+instead of wall-clock time.  The paper's experimental platform made the Solaris
+kernel sleep for the durations reported by the Dartmouth disk model; we keep
+the same information content (service times, broken down by component) while
+running deterministically and fast.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.stats import (
+    COMPONENTS,
+    Breakdown,
+    LatencyRecorder,
+)
+
+__all__ = [
+    "SimClock",
+    "COMPONENTS",
+    "Breakdown",
+    "LatencyRecorder",
+]

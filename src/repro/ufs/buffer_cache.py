@@ -1,0 +1,193 @@
+"""A write-back buffer cache with synchronous write-through support.
+
+UFS metadata discipline lives above this layer; the cache provides the
+mechanics: reads populate entries, asynchronous writes dirty them, and
+synchronous writes go straight through to the device (leaving a clean
+cached copy).  Eviction of a dirty entry writes it out -- which is how the
+large-file benchmark's asynchronous phases end up paying device time even
+before an explicit sync.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.blockdev.interface import BlockDevice
+from repro.sim.stats import Breakdown
+
+
+class _Entry:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: bytearray, dirty: bool) -> None:
+        self.data = data
+        self.dirty = dirty
+
+
+class BufferCache:
+    """LRU block cache over a :class:`BlockDevice`."""
+
+    def __init__(self, device: BlockDevice, capacity_bytes: int) -> None:
+        if capacity_bytes < device.block_size:
+            raise ValueError("cache must hold at least one block")
+        self.device = device
+        self.block_size = device.block_size
+        self.capacity_blocks = capacity_bytes // device.block_size
+        self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, lba: int) -> bool:
+        return lba in self._entries
+
+    def is_dirty(self, lba: int) -> bool:
+        entry = self._entries.get(lba)
+        return entry.dirty if entry else False
+
+    @property
+    def dirty_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.dirty)
+
+    # ------------------------------------------------------------------
+
+    def read(self, lba: int) -> Tuple[bytes, Breakdown]:
+        """Read one block through the cache."""
+        breakdown = Breakdown()
+        entry = self._entries.get(lba)
+        if entry is not None:
+            self._entries.move_to_end(lba)
+            self.hits += 1
+            return bytes(entry.data), breakdown
+        self.misses += 1
+        data, cost = self.device.read_block(lba)
+        breakdown.add(cost)
+        self._insert(lba, bytearray(data), dirty=False, breakdown=breakdown)
+        return data, breakdown
+
+    def populate_run(self, lba: int, count: int) -> Breakdown:
+        """Prefetch ``count`` contiguous blocks in one device command."""
+        breakdown = Breakdown()
+        data, cost = self.device.read_blocks(lba, count)
+        breakdown.add(cost)
+        for i in range(count):
+            if lba + i in self._entries:
+                continue  # don't clobber (possibly dirty) cached copies
+            chunk = bytearray(
+                data[i * self.block_size : (i + 1) * self.block_size]
+            )
+            self._insert(lba + i, chunk, dirty=False, breakdown=breakdown)
+        return breakdown
+
+    def write(self, lba: int, data: bytes, sync: bool) -> Breakdown:
+        """Write one full block; synchronous writes reach the device now."""
+        if len(data) != self.block_size:
+            raise ValueError("write() takes exactly one block")
+        breakdown = Breakdown()
+        if sync:
+            breakdown.add(self.device.write_block(lba, data))
+        entry = self._entries.get(lba)
+        if entry is not None:
+            entry.data[:] = data
+            entry.dirty = entry.dirty or not sync
+            if sync and entry.dirty:
+                entry.dirty = False
+            self._entries.move_to_end(lba)
+        else:
+            self._insert(lba, bytearray(data), dirty=not sync,
+                         breakdown=breakdown)
+        return breakdown
+
+    def write_partial(
+        self,
+        lba: int,
+        offset: int,
+        data: bytes,
+        sync: bool,
+        fresh: bool = False,
+    ) -> Breakdown:
+        """Write a byte range within one block.
+
+        Synchronous partial writes use the device's partial-write path
+        (sector-granularity on the regular disk, read-modify-write on the
+        VLD).  Asynchronous ones merge into the cached copy; ``fresh``
+        skips the read-before-merge for newly allocated blocks.
+        """
+        if offset + len(data) > self.block_size:
+            raise ValueError("partial write exceeds the block")
+        breakdown = Breakdown()
+        entry = self._entries.get(lba)
+        if entry is None:
+            if fresh:
+                base = bytearray(self.block_size)
+            else:
+                raw, cost = self.device.read_block(lba)
+                breakdown.add(cost)
+                base = bytearray(raw)
+            entry = self._insert(lba, base, dirty=False, breakdown=breakdown)
+        entry.data[offset : offset + len(data)] = data
+        self._entries.move_to_end(lba)
+        if sync:
+            breakdown.add(self.device.write_partial(lba, offset, data))
+        else:
+            entry.dirty = True
+        return breakdown
+
+    # ------------------------------------------------------------------
+
+    def flush_block(self, lba: int) -> Breakdown:
+        breakdown = Breakdown()
+        entry = self._entries.get(lba)
+        if entry is not None and entry.dirty:
+            breakdown.add(self.device.write_block(lba, bytes(entry.data)))
+            entry.dirty = False
+        return breakdown
+
+    def flush(self) -> Breakdown:
+        """Write back all dirty blocks, coalescing contiguous runs."""
+        breakdown = Breakdown()
+        dirty = sorted(
+            lba for lba, e in self._entries.items() if e.dirty
+        )
+        i = 0
+        while i < len(dirty):
+            j = i
+            while j + 1 < len(dirty) and dirty[j + 1] == dirty[j] + 1:
+                j += 1
+            run = dirty[i : j + 1]
+            payload = b"".join(
+                bytes(self._entries[lba].data) for lba in run
+            )
+            breakdown.add(
+                self.device.write_blocks(run[0], len(run), payload)
+            )
+            for lba in run:
+                self._entries[lba].dirty = False
+            i = j + 1
+        return breakdown
+
+    def drop_clean(self) -> None:
+        """Discard clean entries (the benchmark 'cache flush')."""
+        for lba in [l for l, e in self._entries.items() if not e.dirty]:
+            del self._entries[lba]
+
+    def invalidate(self, lba: int) -> None:
+        """Forget a block entirely (it was freed)."""
+        self._entries.pop(lba, None)
+
+    # ------------------------------------------------------------------
+
+    def _insert(
+        self, lba: int, data: bytearray, dirty: bool, breakdown: Breakdown
+    ) -> _Entry:
+        while len(self._entries) >= self.capacity_blocks:
+            victim_lba, victim = self._entries.popitem(last=False)
+            if victim.dirty:
+                breakdown.add(
+                    self.device.write_block(victim_lba, bytes(victim.data))
+                )
+        entry = _Entry(data, dirty)
+        self._entries[lba] = entry
+        return entry

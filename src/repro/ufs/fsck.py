@@ -1,0 +1,236 @@
+"""File system consistency checking for the UFS substrate (fsck).
+
+The classic phases, adapted to this FFS layout:
+
+1. **Inodes and block claims** — every allocated inode has a sane type and
+   size; every block/fragment it references is in range, inside a data
+   area, and claimed exactly once.
+2. **Namespace** — every directory entry points to an allocated inode;
+   every allocated inode is reachable from the root; directory link
+   counts are consistent.
+3. **Allocation bitmaps** — the fragment and inode bitmaps agree exactly
+   with the claims discovered in phases 1-2.
+
+Returns a report instead of raising so callers (and tests injecting
+corruption) can inspect everything that is wrong at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.fs.dirfile import DirectoryBlock
+from repro.fs.inode import FileType, NUM_DIRECT
+from repro.sim.stats import Breakdown
+from repro.ufs.ufs import UFS
+
+
+@dataclass
+class FsckReport:
+    """Outcome of a consistency check."""
+
+    errors: List[str] = field(default_factory=list)
+    inodes_checked: int = 0
+    blocks_claimed: int = 0
+    frags_claimed: int = 0
+    files: int = 0
+    directories: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def complain(self, message: str) -> None:
+        self.errors.append(message)
+
+    def summary(self) -> str:
+        status = "clean" if self.ok else f"{len(self.errors)} error(s)"
+        return (
+            f"fsck: {status}; {self.inodes_checked} inodes "
+            f"({self.files} files, {self.directories} dirs), "
+            f"{self.blocks_claimed} blocks, {self.frags_claimed} tail frags"
+        )
+
+
+def fsck(fs: UFS) -> FsckReport:
+    """Check a (quiesced) UFS instance for structural consistency."""
+    report = FsckReport()
+    breakdown = Breakdown()
+    layout = fs.layout
+    claimed_frags: Dict[int, int] = {}  # absolute frag -> claiming inum
+    allocated_inums: Set[int] = set()
+
+    def claim_block(lba: int, inum: int, what: str) -> None:
+        if not 1 <= lba < layout.sb.total_blocks:
+            report.complain(f"inode {inum}: {what} block {lba} out of range")
+            return
+        group = layout.group_of_block(lba)
+        if lba < layout.data_start(group):
+            report.complain(
+                f"inode {inum}: {what} block {lba} inside metadata area"
+            )
+            return
+        base = layout.block_to_frag(lba)
+        for k in range(layout.frags_per_block):
+            _claim_frag(base + k, inum, what)
+        report.blocks_claimed += 1
+
+    def _claim_frag(frag: int, inum: int, what: str) -> None:
+        other = claimed_frags.get(frag)
+        if other is not None:
+            report.complain(
+                f"fragment {frag} claimed by both inode {other} and "
+                f"inode {inum} ({what})"
+            )
+        claimed_frags[frag] = inum
+
+    # ---- phase 1: inodes and their claims -----------------------------
+    for group_index, group in enumerate(fs.alloc.groups):
+        for index in range(layout.sb.inodes_per_group):
+            inum = group_index * layout.sb.inodes_per_group + index
+            if inum == 0:
+                continue
+            if not group.inodes.test(index):
+                continue
+            allocated_inums.add(inum)
+            inode = fs._read_inode(inum, breakdown)
+            report.inodes_checked += 1
+            if inode.is_free:
+                report.complain(
+                    f"inode {inum} allocated in bitmap but marked free"
+                )
+                continue
+            if inode.itype not in (FileType.REGULAR, FileType.DIRECTORY):
+                report.complain(f"inode {inum}: unknown type {inode.itype}")
+                continue
+            if inode.is_dir:
+                report.directories += 1
+            else:
+                report.files += 1
+            _check_inode_claims(fs, inum, inode, claim_block, _claim_frag,
+                                report, breakdown)
+
+    # ---- phase 2: namespace -------------------------------------------
+    reachable = _check_namespace(fs, allocated_inums, report, breakdown)
+    for inum in sorted(allocated_inums - reachable):
+        report.complain(f"inode {inum} allocated but unreachable (orphan)")
+
+    # ---- phase 3: bitmaps ----------------------------------------------
+    _check_bitmaps(fs, claimed_frags, report)
+    return report
+
+
+def _check_inode_claims(fs, inum, inode, claim_block, claim_frag, report,
+                        breakdown) -> None:
+    layout = fs.layout
+    size = inode.size
+    uses_frags = fs._uses_tail_frags(size)
+    nblocks = size // layout.block_size if uses_frags else (
+        -(-size // layout.block_size)
+    )
+    for fblk in range(min(nblocks, NUM_DIRECT)):
+        lba = inode.direct[fblk]
+        if lba:
+            claim_block(lba, inum, f"direct[{fblk}]")
+    if inode.indirect:
+        claim_block(inode.indirect, inum, "indirect")
+        _claim_indirect(fs, inum, inode.indirect, claim_block, report,
+                        breakdown, "single")
+    if inode.double_indirect:
+        claim_block(inode.double_indirect, inum, "double-indirect")
+        raw, cost = fs.cache.read(inode.double_indirect)
+        breakdown.add(cost)
+        for i in range(fs._ppb):
+            level1 = int.from_bytes(raw[i * 4 : i * 4 + 4], "little")
+            if level1:
+                claim_block(level1, inum, f"double[{i}]")
+                _claim_indirect(fs, inum, level1, claim_block, report,
+                                breakdown, f"double[{i}]")
+    frag_addr, frag_count = inode.tail_frags()
+    if frag_count:
+        if not uses_frags:
+            report.complain(
+                f"inode {inum}: tail fragments present but size {size} "
+                "does not use them"
+            )
+        expected = -(-(size % layout.block_size) // layout.frag_size)
+        if uses_frags and frag_count != expected:
+            report.complain(
+                f"inode {inum}: tail has {frag_count} frags, size implies "
+                f"{expected}"
+            )
+        for k in range(frag_count):
+            claim_frag(frag_addr + k, inum, "tail")
+        report.frags_claimed += frag_count
+    elif uses_frags and size % layout.block_size:
+        report.complain(f"inode {inum}: missing tail fragments")
+
+
+def _claim_indirect(fs, inum, table_lba, claim_block, report, breakdown,
+                    label) -> None:
+    raw, cost = fs.cache.read(table_lba)
+    breakdown.add(cost)
+    for i in range(fs._ppb):
+        lba = int.from_bytes(raw[i * 4 : i * 4 + 4], "little")
+        if lba:
+            claim_block(lba, inum, f"{label}[{i}]")
+
+
+def _check_namespace(fs, allocated, report, breakdown) -> Set[int]:
+    layout = fs.layout
+    root = layout.sb.root_inum
+    reachable: Set[int] = set()
+    if root not in allocated:
+        report.complain("root inode not allocated")
+        return reachable
+    stack: List[Tuple[int, str]] = [(root, "/")]
+    reachable.add(root)
+    while stack:
+        inum, path = stack.pop()
+        inode = fs._read_inode(inum, breakdown)
+        if not inode.is_dir:
+            continue
+        for _fblk, lba in fs._dir_blocks(inode, breakdown):
+            raw, cost = fs.cache.read(lba)
+            breakdown.add(cost)
+            for name, child in DirectoryBlock.unpack(raw).entries.items():
+                child_path = f"{path.rstrip('/')}/{name}"
+                if child not in allocated:
+                    report.complain(
+                        f"{child_path}: entry references unallocated "
+                        f"inode {child}"
+                    )
+                    continue
+                if child in reachable:
+                    child_inode = fs._read_inode(child, breakdown)
+                    if child_inode.is_dir:
+                        report.complain(
+                            f"{child_path}: directory hard link (inode "
+                            f"{child} already reachable)"
+                        )
+                    continue
+                reachable.add(child)
+                stack.append((child, child_path))
+    return reachable
+
+
+def _check_bitmaps(fs, claimed_frags, report) -> None:
+    layout = fs.layout
+    fpb = layout.frags_per_block
+    for group_index, group in enumerate(fs.alloc.groups):
+        start = layout.group_start(group_index)
+        for bit in range(layout.sb.blocks_per_group * fpb):
+            frag = start * fpb + bit
+            lba = frag // fpb
+            in_metadata = lba < layout.data_start(group_index)
+            marked = group.frags.test(bit)
+            claimed = frag in claimed_frags or in_metadata
+            if claimed and not marked:
+                report.complain(
+                    f"fragment {frag} in use but free in the bitmap"
+                )
+            elif marked and not claimed:
+                report.complain(
+                    f"fragment {frag} marked used but unclaimed (leak)"
+                )

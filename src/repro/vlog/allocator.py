@@ -1,0 +1,280 @@
+"""Eager-writing allocation: choose a free block near the disk head.
+
+Three policies, matching the paper's Section 2 models and the Section 4.2
+implementation:
+
+* ``NEAREST`` -- always pick the globally cheapest free run (used for the
+  Figure 1 simulation, whose eager-writing algorithm "is not restricted to
+  the current cylinder and always seeks to the nearest sector").
+* ``GREEDY_CYLINDER`` -- prefer the current cylinder (the two-way race of
+  the single-cylinder model); when it is full, seek in *one direction* only,
+  wrapping at the last cylinder, to avoid trapping the head in a region of
+  high utilization (Section 4.2).
+* ``TRACK_FILL`` -- the compactor-assisted regime of Section 2.3: fill an
+  empty track until only ``1 - fill_threshold`` of it remains free, then
+  move to the next empty track; fall back to ``GREEDY_CYLINDER`` when the
+  compactor has not produced empty tracks.
+
+The allocator answers in the same closed-form timing the disk engine will
+recompute when the write is issued, so the chosen block really is the one
+the head can reach soonest.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional, Tuple
+
+from repro.disk.disk import Disk
+from repro.disk.freemap import FreeSpaceMap
+
+
+class AllocationPolicy(enum.Enum):
+    NEAREST = "nearest"
+    GREEDY_CYLINDER = "greedy_cylinder"
+    TRACK_FILL = "track_fill"
+
+
+class DiskFullError(Exception):
+    """No free run of the requested size exists anywhere on the disk."""
+
+
+class EagerAllocator:
+    """Chooses and accounts for physical blocks near the disk head.
+
+    Args:
+        disk: The simulated disk (for head position and timing).
+        freemap: Free-space bookkeeping; the allocator marks its choices
+            used and exposes :meth:`free_block` for recycling.
+        block_sectors: Allocation unit in sectors (8 = 4 KB, the paper's
+            VLD physical block size).
+        policy: Placement policy.
+        fill_threshold: ``TRACK_FILL`` occupancy target (0.75 = fill each
+            empty track to 75 % as in the paper's experiments).
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        freemap: FreeSpaceMap,
+        block_sectors: int = 8,
+        policy: AllocationPolicy = AllocationPolicy.TRACK_FILL,
+        fill_threshold: float = 0.75,
+    ) -> None:
+        if block_sectors <= 0:
+            raise ValueError("block_sectors must be positive")
+        if not 0.0 < fill_threshold <= 1.0:
+            raise ValueError("fill_threshold must lie in (0, 1]")
+        self.disk = disk
+        self.freemap = freemap
+        self.block_sectors = block_sectors
+        self.policy = policy
+        self.fill_threshold = fill_threshold
+        geometry = disk.geometry
+        if geometry.sectors_per_track % block_sectors != 0:
+            raise ValueError("blocks must not straddle track boundaries")
+        #: Free sectors to leave on a fill track before switching (the
+        #: model's ``m``).
+        self.reserve_sectors = int(
+            round((1.0 - fill_threshold) * geometry.sectors_per_track)
+        )
+        self._fill_track: Optional[Tuple[int, int]] = None
+        #: One-direction sweep cursor (Section 4.2).
+        self._sweep_cylinder = 0
+        self.allocations = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def allocate(self, sectors: Optional[int] = None) -> int:
+        """Pick a free block near the head; returns the physical block index.
+
+        The chosen run is marked used.  ``sectors`` may be passed for
+        interface clarity but must equal ``block_sectors``.
+        """
+        if sectors is not None and sectors != self.block_sectors:
+            raise ValueError(
+                f"allocator unit is {self.block_sectors} sectors, "
+                f"got request for {sectors}"
+            )
+        sector = self._choose_sector()
+        self.freemap.mark_used(sector, self.block_sectors)
+        self.allocations += 1
+        return sector // self.block_sectors
+
+    def free_block(self, block: int, sectors: Optional[int] = None) -> None:
+        """Return a block to the free pool."""
+        if sectors is not None and sectors != self.block_sectors:
+            raise ValueError("sector count mismatch")
+        self.freemap.mark_free(block * self.block_sectors, self.block_sectors)
+
+    def reserve_block(self, block: int) -> None:
+        """Permanently remove a block from the pool (e.g. the power-down
+        record's home)."""
+        self.freemap.mark_used(block * self.block_sectors, self.block_sectors)
+
+    # ------------------------------------------------------------------
+    # Policy dispatch
+    # ------------------------------------------------------------------
+
+    def _choose_sector(self) -> int:
+        if self.freemap.free_sectors < self.block_sectors:
+            raise DiskFullError("no free space left on device")
+        if self.policy is AllocationPolicy.NEAREST:
+            sector = self._choose_nearest()
+        elif self.policy is AllocationPolicy.GREEDY_CYLINDER:
+            sector = self._choose_greedy()
+        else:
+            sector = self._choose_track_fill()
+        if sector is None:
+            raise DiskFullError(
+                f"no aligned free run of {self.block_sectors} sectors"
+            )
+        return sector
+
+    # -- NEAREST --------------------------------------------------------
+
+    def _choose_nearest(self) -> Optional[int]:
+        """Globally cheapest run: scan cylinders outward, pruning by seek."""
+        disk = self.disk
+        geometry = disk.geometry
+        mechanics = disk.mechanics
+        sector_time = mechanics.sector_time
+        switch_slots = disk.spec.head_switch_time / sector_time
+        best_cost: Optional[float] = None
+        best_sector: Optional[int] = None
+        for cylinder, distance in self._cylinders_by_distance():
+            seek = mechanics.seek_time(disk.head_cylinder, cylinder)
+            if best_cost is not None and seek >= best_cost:
+                break  # farther cylinders can only be worse
+            if self.freemap.cylinder_free_count(cylinder) < self.block_sectors:
+                continue
+            arrival_slot = disk.slot_after(seek)
+            found = self.freemap.nearest_free_in_cylinder(
+                cylinder,
+                disk.head_head,
+                arrival_slot,
+                self.block_sectors,
+                align=self.block_sectors,
+                head_switch_slots=max(
+                    0.0, switch_slots - seek / sector_time
+                ),
+            )
+            if found is None:
+                continue
+            gap_slots, linear, _head = found
+            cost = seek + gap_slots * sector_time
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_sector = linear
+        return best_sector
+
+    def _cylinders_by_distance(self) -> Iterable[Tuple[int, int]]:
+        """Yield (cylinder, distance) pairs, nearest first."""
+        here = self.disk.head_cylinder
+        total = self.disk.geometry.num_cylinders
+        yield here, 0
+        for distance in range(1, total):
+            emitted = False
+            if here + distance < total:
+                yield here + distance, distance
+                emitted = True
+            if here - distance >= 0:
+                yield here - distance, distance
+                emitted = True
+            if not emitted:
+                break
+
+    # -- GREEDY_CYLINDER --------------------------------------------------
+
+    def _choose_greedy(self) -> Optional[int]:
+        """Current cylinder first, then a one-direction cylinder sweep."""
+        disk = self.disk
+        sector_time = disk.mechanics.sector_time
+        switch_slots = disk.spec.head_switch_time / sector_time
+        found = self.freemap.nearest_free_in_cylinder(
+            disk.head_cylinder,
+            disk.head_head,
+            disk.slot_after(0.0),
+            self.block_sectors,
+            align=self.block_sectors,
+            head_switch_slots=switch_slots,
+        )
+        if found is not None:
+            return found[1]
+        # Sweep in one direction, wrapping (Section 4.2's anti-trap rule).
+        total = disk.geometry.num_cylinders
+        if self._sweep_cylinder == disk.head_cylinder:
+            self._sweep_cylinder = (disk.head_cylinder + 1) % total
+        cursor = self._sweep_cylinder
+        for _ in range(total):
+            if self.freemap.cylinder_free_count(cursor) >= self.block_sectors:
+                seek = disk.mechanics.seek_time(disk.head_cylinder, cursor)
+                arrival = disk.slot_after(seek)
+                found = self.freemap.nearest_free_in_cylinder(
+                    cursor,
+                    disk.head_head,
+                    arrival,
+                    self.block_sectors,
+                    align=self.block_sectors,
+                    head_switch_slots=max(
+                        0.0, switch_slots - seek / sector_time
+                    ),
+                )
+                if found is not None:
+                    self._sweep_cylinder = cursor
+                    return found[1]
+            cursor = (cursor + 1) % total
+        return None
+
+    # -- TRACK_FILL -------------------------------------------------------
+
+    def _choose_track_fill(self) -> Optional[int]:
+        """Fill empty tracks to the threshold; greedy fallback otherwise."""
+        track = self._fill_track
+        if track is not None and not self._track_usable(*track):
+            track = None
+        if track is None:
+            track = self._next_empty_track()
+            self._fill_track = track
+        if track is None:
+            self.fallbacks += 1
+            return self._choose_greedy()
+        cylinder, head = track
+        disk = self.disk
+        seek = disk.mechanics.positioning_time(
+            disk.head_cylinder, disk.head_head, cylinder, head
+        )
+        arrival = disk.slot_after(seek)
+        found = self.freemap.nearest_free_run(
+            cylinder, head, arrival, self.block_sectors, align=self.block_sectors
+        )
+        if found is None:
+            # Shouldn't happen given _track_usable, but stay safe.
+            self._fill_track = None
+            self.fallbacks += 1
+            return self._choose_greedy()
+        return found[1]
+
+    def _track_usable(self, cylinder: int, head: int) -> bool:
+        """A fill track is usable while it is above the reserve threshold."""
+        free = self.freemap.track_free_count(cylinder, head)
+        return free >= max(self.reserve_sectors + self.block_sectors,
+                           self.block_sectors)
+
+    def _next_empty_track(self) -> Optional[Tuple[int, int]]:
+        """Nearest completely empty track, sweeping one direction."""
+        geometry = self.disk.geometry
+        per_track = geometry.sectors_per_track
+        total = geometry.num_cylinders
+        start = self.disk.head_cylinder
+        for offset in range(total):
+            cylinder = (start + offset) % total
+            if self.freemap.cylinder_free_count(cylinder) < per_track:
+                continue
+            for head in range(geometry.tracks_per_cylinder):
+                if self.freemap.track_free_count(cylinder, head) == per_track:
+                    return cylinder, head
+        return None

@@ -1,0 +1,200 @@
+"""Idle-time free-space compaction (Sections 2.3, 4.2, 5.5).
+
+The compactor runs on the drive's "free" internal bandwidth during idle
+periods: it picks a partially-filled track (targets chosen randomly, as in
+the paper's implementation), reads its live blocks, and hole-plugs them
+into the free space of *other* non-empty tracks, leaving the source track
+completely empty for the track-fill allocator.  Unlike the LFS cleaner it
+moves data at track (indeed block) granularity, so it profits from idle
+intervals far shorter than a segment write (Figure 11 vs Figure 10).
+
+Moving a data block updates the indirection map (batched per chunk); moving
+a live map-record block relocates that chunk's record through the virtual
+log.  The power-down record's block is immovable, so its track is never a
+compaction target.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.vlog.vld import VirtualLogDisk
+
+
+class FreeSpaceCompactor:
+    """Track-granularity hole-plugging compactor for a VLD."""
+
+    def __init__(self, vld: VirtualLogDisk, rng: Optional[random.Random] = None):
+        self.vld = vld
+        self.rng = rng if rng is not None else random.Random(0x5EED)
+        self.tracks_compacted = 0
+        self.blocks_moved = 0
+
+    # ------------------------------------------------------------------
+
+    def run_for(self, seconds: float) -> float:
+        """Compact until ``seconds`` of idle time are consumed or no work
+        remains; returns the simulated time actually used."""
+        if seconds < 0.0:
+            raise ValueError("idle budget must be non-negative")
+        clock = self.vld.disk.clock
+        start = clock.now
+        deadline = start + seconds
+        while clock.now < deadline:
+            target = self._pick_target()
+            if target is None:
+                break
+            # Compaction rewrites the log: any stale power-down record
+            # must go first.
+            from repro.sim.stats import Breakdown
+
+            self.vld._disarm_power_record(Breakdown())
+            if not self._compact_track(target, deadline):
+                break
+        return clock.now - start
+
+    # ------------------------------------------------------------------
+
+    def _pick_target(self) -> Optional[Tuple[int, int]]:
+        """A random partially-filled track (never the power-down track, never
+        the allocator's current fill track)."""
+        geometry = self.vld.disk.geometry
+        freemap = self.vld.freemap
+        per_track = geometry.sectors_per_track
+        pinned_track = self._power_down_track()
+        fill_track = self.vld.allocator._fill_track
+        candidates: List[Tuple[int, int]] = []
+        for cylinder in range(geometry.num_cylinders):
+            for head in range(geometry.tracks_per_cylinder):
+                if (cylinder, head) == pinned_track:
+                    continue
+                if (cylinder, head) == fill_track:
+                    continue
+                free = freemap.track_free_count(cylinder, head)
+                if 0 < free < per_track:
+                    candidates.append((cylinder, head))
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _power_down_track(self) -> Tuple[int, int]:
+        geometry = self.vld.disk.geometry
+        sector = self.vld.POWER_DOWN_BLOCK * self.vld.sectors_per_block
+        cylinder, head, _ = geometry.decompose(sector)
+        return cylinder, head
+
+    def _compact_track(self, track: Tuple[int, int], deadline: float) -> bool:
+        """Move every live block off one track; returns False when stuck
+        (no holes elsewhere) or out of time."""
+        vld = self.vld
+        geometry = vld.disk.geometry
+        clock = vld.disk.clock
+        cylinder, head = track
+        base_sector = geometry.track_start(cylinder, head)
+        spb = vld.sectors_per_block
+        map_spb = vld.vlog.sectors_per_block
+        #: lbas whose data moved, grouped by map chunk for batched commits.
+        touched_chunks: Dict[int, List[int]] = {}
+        progressed = False
+        sector = base_sector
+        end = base_sector + geometry.sectors_per_track
+        while sector < end:
+            if clock.now >= deadline:
+                self._commit_moves(touched_chunks)
+                return False
+            if vld.freemap.is_free(sector):
+                sector += 1
+                continue
+            block = sector // spb
+            if sector % spb == 0 and block in vld.reverse:
+                # A 4 KB data block.
+                lba = vld.reverse[block]
+                moved_chunk = self._move_data_block(block, lba, track)
+                if moved_chunk is None:
+                    self._commit_moves(touched_chunks)
+                    return False
+                touched_chunks.setdefault(moved_chunk, []).append(lba)
+                progressed = True
+                sector += spb
+                continue
+            record = sector // map_spb
+            chunk_id = vld.vlog.chunk_of_block(record)
+            if chunk_id is not None and sector % map_spb == 0:
+                # Relocate the live map record through the log itself.
+                vld.vlog.append(chunk_id, vld.imap.chunk_entries(chunk_id))
+                progressed = True
+                sector += map_spb
+                continue
+            # Neither data nor a live record: a reserved sector (the
+            # power-down block never shares a target track) or one freed
+            # mid-scan; nothing to move.
+            sector += 1
+        self._commit_moves(touched_chunks)
+        if progressed:
+            self.tracks_compacted += 1
+        return progressed
+
+    def _move_data_block(
+        self, block: int, lba: int, source_track: Tuple[int, int]
+    ) -> Optional[int]:
+        """Hole-plug one data block into another track; returns the map
+        chunk needing commit, or None when no hole exists."""
+        vld = self.vld
+        spb = vld.sectors_per_block
+        destination = self._find_hole(source_track)
+        if destination is None:
+            return None
+        data, _cost = vld.disk.read(block * spb, spb, charge_scsi=False)
+        vld.freemap.mark_used(destination * spb, spb)
+        vld.disk.write(destination * spb, spb, data, charge_scsi=False)
+        vld.imap.set(lba, destination)
+        vld.reverse[destination] = lba
+        vld.reverse.pop(block, None)
+        # The old copy is freed immediately; the map commit is batched by
+        # the caller.  A crash between move and commit recovers the *old*
+        # mapping -- whose block we just freed but have not yet reused
+        # within this compaction pass, preserving correctness for the
+        # paper's single-compactor design.
+        vld.freemap.mark_free(block * spb, spb)
+        self.blocks_moved += 1
+        return vld.imap.chunk_id_of(lba)
+
+    def _find_hole(self, source_track: Tuple[int, int]) -> Optional[int]:
+        """Nearest free block on a *partially used* track other than the
+        source (classic hole-plugging: never consume empty tracks)."""
+        vld = self.vld
+        geometry = vld.disk.geometry
+        disk = vld.disk
+        spb = vld.sectors_per_block
+        per_track = geometry.sectors_per_track
+        best: Optional[Tuple[float, int]] = None
+        for cylinder in range(geometry.num_cylinders):
+            for head in range(geometry.tracks_per_cylinder):
+                if (cylinder, head) == source_track:
+                    continue
+                free = vld.freemap.track_free_count(cylinder, head)
+                if free < spb or free == per_track:
+                    continue
+                seek = disk.mechanics.positioning_time(
+                    disk.head_cylinder, disk.head_head, cylinder, head
+                )
+                arrival = disk.slot_after(seek)
+                found = vld.freemap.nearest_free_run(
+                    cylinder, head, arrival, spb, align=spb
+                )
+                if found is None:
+                    continue
+                gap_slots, linear = found
+                cost = seek + gap_slots * disk.mechanics.sector_time
+                if best is None or cost < best[0]:
+                    best = (cost, linear // spb)
+        return None if best is None else best[1]
+
+    def _commit_moves(self, touched_chunks: Dict[int, List[int]]) -> None:
+        """Write the map records for all chunks whose entries moved."""
+        for chunk_id in touched_chunks:
+            self.vld.vlog.append(
+                chunk_id, self.vld.imap.chunk_entries(chunk_id)
+            )
+        touched_chunks.clear()

@@ -1,0 +1,145 @@
+"""On-disk format of virtual-log map records.
+
+Each record occupies one physical block and holds one *chunk* of the
+indirection map (a run of logical-to-physical entries, 4 bytes each, as in
+Section 4.2: "Each physical block requires a four byte map entry") plus the
+log-threading pointers of Figure 3:
+
+* ``prev_root`` -- the previous log tail (the backward-chain pointer);
+* ``bypass1``/``bypass2`` -- the out-pointers of the record this append
+  *overwrote*, so that recycling the overwritten block never disconnects
+  older live records from the tail.
+
+The paper's Figure 3b carries a single bypass pointer; because an
+overwritten record may itself have been an overwrite root with two
+out-edges, we carry both of its pointers forward.  This preserves the exact
+graph invariant recovery needs -- removing a node while re-homing *all* its
+out-edges keeps every other node reachable -- and is property-tested in
+``tests/vlog/test_virtual_log.py``.
+
+Records end with a CRC32 standing in for the paper's "cryptographically
+signed map entries": it lets the scan-based recovery path distinguish map
+records from data blocks (collisions with random data are possible for a
+checksum but not for the real signature; the simulation never manufactures
+colliding data).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Map-entry value meaning "logical block not mapped".
+UNMAPPED = 0xFFFFFFFF
+
+#: Record magic ("virtual log map, version 1").
+MAGIC = b"VLOGMAP1"
+
+#: Chunk ids at or above this value are transaction *commit records*
+#: (payload: the committed transaction id).  They ride the same tree as
+#: map chunks -- Section 3.2's "base mechanism upon which efficient
+#: transactions can be built", made concrete.
+COMMIT_CHUNK_BASE = 0x4000_0000
+
+#: Header: magic, chunk_id, n_entries, seqno, prev_root, bypass1, bypass2,
+#: txn_id (0 = not part of a transaction).
+_HEADER = struct.Struct("<8sIIqqqqI")
+
+#: Trailing CRC32.
+_TRAILER = struct.Struct("<I")
+
+
+def entries_per_chunk(block_size: int) -> int:
+    """Map entries per record for a physical block size, rounded down to a
+    multiple of 8 so chunk boundaries align with typical extent sizes."""
+    if block_size <= _HEADER.size + _TRAILER.size + 4:
+        raise ValueError(f"block size {block_size} too small for a map record")
+    raw = (block_size - _HEADER.size - _TRAILER.size) // 4
+    return max(8, (raw // 8) * 8)
+
+
+@dataclass
+class MapRecord:
+    """One virtual-log entry: a chunk of the indirection map plus pointers.
+
+    Pointer fields hold physical *block* numbers, or ``None``.
+    """
+
+    chunk_id: int
+    seqno: int
+    entries: List[int] = field(default_factory=list)
+    prev_root: Optional[int] = None
+    bypass1: Optional[int] = None
+    bypass2: Optional[int] = None
+    #: transaction id this record belongs to (0 = standalone).
+    txn_id: int = 0
+
+    @property
+    def is_commit(self) -> bool:
+        return self.chunk_id >= COMMIT_CHUNK_BASE
+
+    def pointers(self) -> List[int]:
+        """All non-null out-pointers, prev_root first."""
+        return [
+            p
+            for p in (self.prev_root, self.bypass1, self.bypass2)
+            if p is not None
+        ]
+
+    def pack(self, block_size: int) -> bytes:
+        """Serialise to exactly ``block_size`` bytes with a trailing CRC."""
+        capacity = entries_per_chunk(block_size)
+        if len(self.entries) > capacity:
+            raise ValueError(
+                f"{len(self.entries)} entries exceed capacity {capacity}"
+            )
+        header = _HEADER.pack(
+            MAGIC,
+            self.chunk_id,
+            len(self.entries),
+            self.seqno,
+            -1 if self.prev_root is None else self.prev_root,
+            -1 if self.bypass1 is None else self.bypass1,
+            -1 if self.bypass2 is None else self.bypass2,
+            self.txn_id,
+        )
+        body = struct.pack(f"<{len(self.entries)}I", *self.entries)
+        padding = bytes(block_size - len(header) - len(body) - _TRAILER.size)
+        payload = header + body + padding
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        return payload + _TRAILER.pack(crc)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Optional["MapRecord"]:
+        """Parse a block; returns ``None`` when it is not a valid record.
+
+        Validation (magic + CRC) is what lets recovery prune pointers into
+        recycled blocks and lets the scan fallback find records at all.
+        """
+        if len(raw) <= _HEADER.size + _TRAILER.size:
+            return None
+        payload, trailer = raw[: -_TRAILER.size], raw[-_TRAILER.size :]
+        (stored_crc,) = _TRAILER.unpack(trailer)
+        if zlib.crc32(payload) & 0xFFFFFFFF != stored_crc:
+            return None
+        magic, chunk_id, n_entries, seqno, prev, b1, b2, txn = (
+            _HEADER.unpack(payload[: _HEADER.size])
+        )
+        if magic != MAGIC:
+            return None
+        capacity = entries_per_chunk(len(raw))
+        if not 0 <= n_entries <= capacity:
+            return None
+        body = payload[_HEADER.size : _HEADER.size + 4 * n_entries]
+        entries = list(struct.unpack(f"<{n_entries}I", body))
+        return cls(
+            chunk_id=chunk_id,
+            seqno=seqno,
+            entries=entries,
+            prev_root=None if prev < 0 else prev,
+            bypass1=None if b1 < 0 else b1,
+            bypass2=None if b2 < 0 else b2,
+            txn_id=txn,
+        )

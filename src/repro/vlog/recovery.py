@@ -1,0 +1,149 @@
+"""Recovery bootstrap: the power-down record and the scan fallback.
+
+Section 3.2: modern drives park the actuator using residual power when the
+supply drops; the firmware can first record the current log-tail location
+at a fixed disk location, protected by a checksum and cleared after
+recovery.  Normal recovery reads that record and traverses the virtual log
+from the tail.  In the "extremely rare case" the power-down write failed,
+the checksum exposes it and recovery falls back to scanning the disk for
+(cryptographically signed, here CRC-tagged) map records, taking the one
+with the highest sequence number as the tail.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.disk.disk import Disk
+from repro.sim.stats import Breakdown
+from repro.vlog.entries import MapRecord
+
+_MAGIC = b"VLOGPWDN"
+_RECORD = struct.Struct("<8sqqI")
+
+
+class PowerDownStore:
+    """The fixed-location record written by the firmware at power-down."""
+
+    def __init__(self, disk: Disk, block: int = 0, block_size: int = 4096) -> None:
+        self.disk = disk
+        self.block = block
+        self.block_size = block_size
+        self.sectors_per_block = block_size // disk.sector_bytes
+        self._sector = block * self.sectors_per_block
+
+    def write(self, tail_block: int, seqno: int, timed: bool = True) -> Breakdown:
+        """Persist the log tail (part of the firmware power-down sequence)."""
+        body = _RECORD.pack(_MAGIC, tail_block, seqno, 0)[: -4]
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        payload = _RECORD.pack(_MAGIC, tail_block, seqno, crc)
+        padded = payload + bytes(self.block_size - len(payload))
+        if timed:
+            return self.disk.write(
+                self._sector, self.sectors_per_block, padded, charge_scsi=False
+            )
+        self.disk.poke(self._sector, padded)
+        return Breakdown()
+
+    def read(self, timed: bool = True) -> Tuple[Optional[Tuple[int, int]], Breakdown]:
+        """Read and validate the record; ``None`` when absent or corrupt."""
+        if timed:
+            raw, breakdown = self.disk.read(
+                self._sector, self.sectors_per_block, charge_scsi=False
+            )
+        else:
+            raw = self.disk.peek(self._sector, self.sectors_per_block)
+            breakdown = Breakdown()
+        if len(raw) < _RECORD.size:
+            return None, breakdown
+        magic, tail, seqno, stored_crc = _RECORD.unpack(raw[: _RECORD.size])
+        if magic != _MAGIC:
+            return None, breakdown
+        body = raw[: _RECORD.size - 4]
+        if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
+            return None, breakdown
+        if tail < 0 or seqno < 0:
+            return None, breakdown
+        return (tail, seqno), breakdown
+
+    def clear(self, timed: bool = True) -> Breakdown:
+        """Erase the record (done after successful recovery, per the paper)."""
+        blank = bytes(self.block_size)
+        if timed:
+            return self.disk.write(
+                self._sector, self.sectors_per_block, blank, charge_scsi=False
+            )
+        self.disk.poke(self._sector, blank)
+        return Breakdown()
+
+    def corrupt(self) -> None:
+        """Fault injection: damage the record as a failed power-down would."""
+        garbage = b"\xde\xad\xbe\xef" * (self.block_size // 4)
+        self.disk.poke(self._sector, garbage)
+
+
+def scan_for_tail(
+    disk: Disk,
+    block_size: int = 4096,
+    skip_block: Optional[int] = None,
+    skip_sectors: int = 0,
+    timed: bool = True,
+) -> Tuple[Optional[int], Breakdown, int]:
+    """Full-disk scan for the youngest map record (the slow path).
+
+    Reads the disk track by track (the cheapest sequential pattern) and
+    parses every aligned record-sized unit for a valid map record.
+    ``block_size`` is the *record* size (the VLD uses 512-byte map
+    sectors); ``skip_block`` excludes one record position and
+    ``skip_sectors`` excludes the first N sectors of the disk (the
+    power-down record's home).  Returns
+    ``(tail_block, breakdown, records_examined)``.
+    """
+    breakdown = Breakdown()
+    geometry = disk.geometry
+    sectors_per_block = max(1, block_size // disk.sector_bytes)
+    blocks_per_track = geometry.sectors_per_track // sectors_per_block
+    best_seqno = -1
+    best_block: Optional[int] = None
+    examined = 0
+    for cylinder in range(geometry.num_cylinders):
+        for head in range(geometry.tracks_per_cylinder):
+            start = geometry.track_start(cylinder, head)
+            if timed:
+                raw, cost = disk.read(
+                    start, geometry.sectors_per_track, charge_scsi=False
+                )
+                breakdown.add(cost)
+            else:
+                raw = disk.peek(start, geometry.sectors_per_track)
+            for i in range(blocks_per_track):
+                block = start // sectors_per_block + i
+                if block == skip_block:
+                    continue
+                if (block + 1) * sectors_per_block <= skip_sectors:
+                    continue
+                examined += 1
+                chunk = raw[i * block_size : (i + 1) * block_size]
+                record = MapRecord.unpack(chunk)
+                if record is not None and record.seqno > best_seqno:
+                    best_seqno = record.seqno
+                    best_block = block
+    return best_block, breakdown, examined
+
+
+@dataclass
+class RecoveryOutcome:
+    """What happened during a :meth:`VirtualLogDisk.recover` call."""
+
+    used_power_down_record: bool
+    scanned: bool
+    records_read: int
+    blocks_scanned: int = 0
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    @property
+    def elapsed(self) -> float:
+        return self.breakdown.total

@@ -1,0 +1,605 @@
+"""The virtual log proper: an eagerly-written, tree-threaded log.
+
+Section 3.2 of the paper: map entries cannot carry *forward* pointers
+(eager writing makes the next entry's location unpredictable), so entries
+are chained *backwards* from a log tail.  Overwriting an entry would strand
+the chain, so the chain is generalised to a tree (Figure 3b): each new tail
+points both at the previous root and "around" the entry it overwrites,
+letting the overwritten block be recycled without recopying live entries.
+
+Formally, the invariant this module maintains on the graph of *live*
+records (the newest version of each map chunk) is:
+
+    every live record except the tail has at least one in-edge
+    from a live record.
+
+Because every edge points from a newer record to a strictly older one, the
+invariant implies every live record is reachable from the tail -- chase
+in-edges newer-ward and you must arrive at the unique newest record.  On
+overwrite of record ``B``, targets of ``B`` whose last live in-edge died
+("orphans") are re-homed onto the new root's pointer slots; in the rare
+case more orphans exist than slots, the overflow chunks are themselves
+relocated (appended afresh), which restores their reachability trivially.
+The recovery traversal is youngest-first by sequence number, pruning
+pointers that land on recycled or stale blocks, exactly as Section 3.2
+describes ("obsolete log entries can be recognized as such because their
+updated versions are younger and traversed earlier").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.disk.disk import Disk
+from repro.sim.stats import Breakdown
+from repro.vlog.allocator import EagerAllocator
+from repro.vlog.entries import COMMIT_CHUNK_BASE, MapRecord
+
+
+@dataclass
+class _Node:
+    """In-memory shadow of one live on-disk record."""
+
+    chunk_id: int
+    seqno: int
+    targets: List[int] = field(default_factory=list)
+    #: transaction this record is a member of (0 = standalone).
+    txn_id: int = 0
+    #: True while a newer (uncommitted) version exists; the record stays
+    #: in the graph so recovery can fall back to it if the transaction
+    #: never commits.
+    superseded: bool = False
+
+
+class VirtualLog:
+    """Maintains the on-disk virtual log of indirection-map chunks.
+
+    Args:
+        disk: The underlying simulated disk (accessed as the drive's own
+            processor: no SCSI charge).
+        allocator: Eager-writing allocator used to place each record.
+        chunk_provider: Callable returning the *current* entry list for a
+            chunk -- used when a chunk must be rewritten for reachability or
+            by the compactor.
+        block_size: Physical block size in bytes (one record per block).
+    """
+
+    #: Pointer slots in a record besides ``prev_root``.
+    _BYPASS_SLOTS = 2
+
+    def __init__(
+        self,
+        disk: Disk,
+        allocator: EagerAllocator,
+        chunk_provider: Callable[[int], List[int]],
+        block_size: int = 4096,
+    ) -> None:
+        self.disk = disk
+        self.allocator = allocator
+        self.chunk_provider = chunk_provider
+        self.block_size = block_size
+        self.sectors_per_block = block_size // disk.sector_bytes
+        self.tail: Optional[int] = None
+        self.next_seqno = 1
+        #: phys block -> live record shadow
+        self._nodes: Dict[int, _Node] = {}
+        #: chunk id -> phys block of its live record
+        self._chunk_location: Dict[int, int] = {}
+        #: phys block -> blocks of live records pointing at it.  Kept exact:
+        #: when a record is deleted, its in- and out-edges are purged, so a
+        #: recycled block never inherits stale edges.
+        self._in_edges: Dict[int, Set[int]] = {}
+        #: blocks freed by overwrites; owner recycles them (mark_free)
+        self.appends = 0
+        self.relocations = 0
+        #: transaction bookkeeping: live member-record count per txn,
+        #: commit-record slot per txn, and retired slots free for reuse.
+        self._txn_live_members: Dict[int, int] = {}
+        self._txn_slot: Dict[int, int] = {}
+        self._free_commit_slots: List[int] = []
+        self._next_commit_slot = COMMIT_CHUNK_BASE
+        self.last_txn_seen = 0
+        self.recovered_committed_txns: Set[int] = set()
+
+    def reset_volatile(self) -> None:
+        """Drop all in-memory state (a crash on a fresh device)."""
+        self.tail = None
+        self.next_seqno = 1
+        self._nodes.clear()
+        self._chunk_location.clear()
+        self._in_edges.clear()
+        self._txn_live_members.clear()
+        self._txn_slot.clear()
+        self._free_commit_slots.clear()
+        self._next_commit_slot = COMMIT_CHUNK_BASE
+        self.recovered_committed_txns = set()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def location_of(self, chunk_id: int) -> Optional[int]:
+        """Physical block currently holding a chunk's record, if any."""
+        return self._chunk_location.get(chunk_id)
+
+    def live_blocks(self) -> Set[int]:
+        """Physical blocks occupied by live log records."""
+        return set(self._nodes)
+
+    def chunk_of_block(self, phys_block: int) -> Optional[int]:
+        """Which chunk a live record block belongs to (None if not a record)."""
+        node = self._nodes.get(phys_block)
+        return node.chunk_id if node else None
+
+    # ------------------------------------------------------------------
+    # Appending (the one-disk-I/O map update of Section 3.2)
+    # ------------------------------------------------------------------
+
+    def _chunk_payload(self, chunk_id: int) -> List[int]:
+        """Current contents of a chunk (commit slots answer locally)."""
+        if chunk_id >= COMMIT_CHUNK_BASE:
+            txn = {v: k for k, v in self._txn_slot.items()}.get(chunk_id)
+            return [txn] if txn is not None else [0]
+        return self.chunk_provider(chunk_id)
+
+    def append(
+        self, chunk_id: int, entries: List[int], txn_id: int = 0
+    ) -> Breakdown:
+        """Write a new version of ``chunk_id``; returns the latency paid.
+
+        Recycles the chunk's previous record block (if any) and any overflow
+        relocations needed to preserve the reachability invariant.  With a
+        nonzero ``txn_id`` the record is a transaction member; use
+        :meth:`append_txn_member` for the deferred-recycle variant.
+        """
+        breakdown = Breakdown()
+        worklist: List[Tuple[int, List[int], int]] = [
+            (chunk_id, entries, txn_id)
+        ]
+        # Safety valve: relocation cascades must converge long before this.
+        budget = 4 * (len(self._chunk_location) + 2)
+        while worklist:
+            if budget <= 0:
+                raise RuntimeError("virtual-log relocation cascade diverged")
+            budget -= 1
+            cid, payload, txn = worklist.pop()
+            overflow = self._append_one(cid, payload, breakdown, txn_id=txn)
+            for orphan_chunk in overflow:
+                self.relocations += 1
+                worklist.append(
+                    (orphan_chunk, self._chunk_payload(orphan_chunk), 0)
+                )
+        return breakdown
+
+    def relocate(self, chunk_id: int) -> Breakdown:
+        """Rewrite a chunk's record elsewhere (used by the compactor)."""
+        if chunk_id not in self._chunk_location:
+            raise KeyError(f"chunk {chunk_id} has no live record")
+        self.relocations += 1
+        return self.append(chunk_id, self._chunk_payload(chunk_id))
+
+    def _append_one(
+        self,
+        chunk_id: int,
+        entries: List[int],
+        breakdown: Breakdown,
+        txn_id: int = 0,
+        keep_old: bool = False,
+    ) -> List[int]:
+        """Append one record; returns chunk ids needing relocation.
+
+        ``keep_old`` defers recycling the superseded record: it stays in
+        the graph (marked superseded) so that recovery can fall back to it
+        while the enclosing transaction is not yet committed.
+        """
+        old_block = self._chunk_location.get(chunk_id)
+        # Collect orphans: targets of the overwritten record whose last live
+        # in-edge is about to disappear.
+        orphans: List[int] = []
+        if old_block is not None and not keep_old:
+            for target in self._nodes[old_block].targets:
+                if self._in_edges.get(target) == {old_block}:
+                    orphans.append(target)
+        # Pointer slots: prev_root plus bypasses.
+        slots: List[Optional[int]] = []
+        if self.tail is not None and (keep_old or self.tail != old_block):
+            slots.append(self.tail)
+        slot_capacity = 1 + self._BYPASS_SLOTS
+        overflow_chunks: List[int] = []
+        for orphan in orphans:
+            if len(slots) < slot_capacity:
+                slots.append(orphan)
+            else:
+                overflow_chunks.append(self._nodes[orphan].chunk_id)
+        while len(slots) < slot_capacity:
+            slots.append(None)
+        record = MapRecord(
+            chunk_id=chunk_id,
+            seqno=self.next_seqno,
+            entries=list(entries),
+            prev_root=slots[0],
+            bypass1=slots[1],
+            bypass2=slots[2],
+            txn_id=txn_id,
+        )
+        self.next_seqno += 1
+        # Place and write the record near the head (no SCSI charge: this is
+        # the drive's own processor at work).
+        new_block = self.allocator.allocate(self.sectors_per_block)
+        sector = new_block * self.sectors_per_block
+        breakdown.add(
+            self.disk.write(
+                sector,
+                self.sectors_per_block,
+                record.pack(self.block_size),
+                charge_scsi=False,
+            )
+        )
+        # Update the in-memory graph: add the new node ...
+        node = _Node(chunk_id=chunk_id, seqno=record.seqno, txn_id=txn_id)
+        node.targets = [s for s in slots if s is not None]
+        self._nodes[new_block] = node
+        for target in node.targets:
+            self._in_edges.setdefault(target, set()).add(new_block)
+        self._chunk_location[chunk_id] = new_block
+        self.tail = new_block
+        self.appends += 1
+        if txn_id:
+            self._txn_live_members[txn_id] = (
+                self._txn_live_members.get(txn_id, 0) + 1
+            )
+            self.last_txn_seen = max(self.last_txn_seen, txn_id)
+        # ... then delete the overwritten one and recycle its block --
+        # unless a transaction needs it to remain recoverable.
+        if old_block is not None:
+            if keep_old:
+                self._nodes[old_block].superseded = True
+            else:
+                self._delete_node(old_block)
+        return overflow_chunks
+
+    # ------------------------------------------------------------------
+    # Transactions (atomic multi-chunk updates, Section 3.2's promise)
+    # ------------------------------------------------------------------
+
+    def begin_txn(self) -> int:
+        """Allocate a fresh transaction id."""
+        self.last_txn_seen += 1
+        return self.last_txn_seen
+
+    def append_txn_member(
+        self, chunk_id: int, entries: List[int], txn_id: int
+    ) -> Tuple[Breakdown, Optional[int]]:
+        """Append a transaction member; the superseded record is *not*
+        recycled yet.  Returns ``(cost, superseded_block_or_None)``."""
+        if txn_id <= 0:
+            raise ValueError("transaction ids are positive")
+        old_block = self._chunk_location.get(chunk_id)
+        breakdown = Breakdown()
+        overflow = self._append_one(
+            chunk_id, entries, breakdown, txn_id=txn_id, keep_old=True
+        )
+        assert not overflow  # keep_old never orphans anything
+        return breakdown, old_block
+
+    def commit_txn(
+        self, txn_id: int, superseded: List[int]
+    ) -> Breakdown:
+        """Make a transaction durable: write its commit record, then
+        recycle the superseded member predecessors."""
+        if txn_id <= 0:
+            raise ValueError("transaction ids are positive")
+        slot = self._allocate_commit_slot()
+        self._txn_slot[txn_id] = slot
+        breakdown = self.append(slot, [txn_id])
+        for block in superseded:
+            if block in self._nodes:
+                breakdown.add(self._delete_with_repair(block))
+        return breakdown
+
+    def abort_txn(self, txn_id: int, restore) -> Breakdown:
+        """Undo an uncommitted transaction.
+
+        ``restore(chunk_id)`` must return the chunk's *pre-transaction*
+        contents; fresh standalone records supersede the uncommitted
+        members (whose blocks recycle normally).
+        """
+        breakdown = Breakdown()
+        members = [
+            node.chunk_id
+            for node in self._nodes.values()
+            if node.txn_id == txn_id and not node.superseded
+        ]
+        for chunk_id in members:
+            breakdown.add(self.append(chunk_id, restore(chunk_id)))
+        # The superseded pre-transaction records are now stale duplicates
+        # of their chunks; recycle them.
+        stale = [
+            block
+            for block, node in self._nodes.items()
+            if node.superseded and self._chunk_location.get(node.chunk_id) != block
+        ]
+        for block in stale:
+            node = self._nodes.get(block)
+            if node is not None and node.superseded:
+                breakdown.add(self._delete_with_repair(block))
+        return breakdown
+
+    def _allocate_commit_slot(self) -> int:
+        # Prefer retired slots (their transactions have no live members,
+        # so superseding their record loses nothing).
+        while self._free_commit_slots:
+            slot = self._free_commit_slots.pop()
+            return slot
+        slot = self._next_commit_slot
+        self._next_commit_slot += 1
+        return slot
+
+    def _on_txn_member_deleted(self, txn_id: int) -> None:
+        remaining = self._txn_live_members.get(txn_id, 0) - 1
+        if remaining > 0:
+            self._txn_live_members[txn_id] = remaining
+            return
+        self._txn_live_members.pop(txn_id, None)
+        slot = self._txn_slot.pop(txn_id, None)
+        if slot is not None:
+            self._free_commit_slots.append(slot)
+
+    def _delete_with_repair(self, block: int) -> Breakdown:
+        """Delete a node outside the append path, re-homing any records it
+        alone kept reachable by relocating their chunks."""
+        breakdown = Breakdown()
+        node = self._nodes.get(block)
+        if node is None:
+            return breakdown
+        orphans = [
+            target
+            for target in node.targets
+            if self._in_edges.get(target) == {block}
+        ]
+        self._delete_node(block)
+        for orphan in orphans:
+            orphan_node = self._nodes.get(orphan)
+            if orphan_node is not None and orphan == self._chunk_location.get(
+                orphan_node.chunk_id
+            ):
+                breakdown.add(
+                    self.append(
+                        orphan_node.chunk_id,
+                        self._chunk_payload(orphan_node.chunk_id),
+                    )
+                )
+            elif orphan_node is not None:
+                # A superseded record lost its last edge; recycle it too.
+                breakdown.add(self._delete_with_repair(orphan))
+        return breakdown
+
+    def _delete_node(self, block: int) -> None:
+        node = self._nodes.pop(block)
+        if node.txn_id:
+            self._on_txn_member_deleted(node.txn_id)
+        # Purge out-edges ...
+        for target in node.targets:
+            parents = self._in_edges.get(target)
+            if parents is not None:
+                parents.discard(block)
+                if not parents:
+                    del self._in_edges[target]
+        # ... and in-edges: parents drop their (now dangling) pointer from
+        # the in-memory view, so a future occupant of this block never
+        # inherits it.  (On disk the pointer remains; recovery prunes it by
+        # record validation and sequence-number ordering.)
+        for parent in self._in_edges.pop(block, ()):  # type: ignore[arg-type]
+            parent_node = self._nodes.get(parent)
+            if parent_node is not None and block in parent_node.targets:
+                parent_node.targets.remove(block)
+        self.allocator.free_block(block, self.sectors_per_block)
+
+    # ------------------------------------------------------------------
+    # Recovery (Section 3.2's youngest-first tree traversal)
+    # ------------------------------------------------------------------
+
+    def recover_from_tail(
+        self, tail_block: int, timed: bool = True
+    ) -> Tuple[Dict[int, List[int]], Breakdown, int]:
+        """Rebuild chunk contents by traversing the tree from ``tail_block``.
+
+        Returns ``(chunks, breakdown, records_read)`` where ``chunks`` maps
+        chunk id to its youngest entry list.  Also rebuilds this object's
+        in-memory state so normal operation can resume.
+
+        ``timed=False`` reads via :meth:`Disk.peek` (no simulated time), for
+        tests that only care about correctness.
+        """
+        import heapq
+
+        breakdown = Breakdown()
+        chunks: Dict[int, List[int]] = {}
+        youngest: Dict[int, Tuple[int, int]] = {}  # chunk -> (seqno, block)
+        visited: Set[int] = set()
+        records: Dict[int, MapRecord] = {}
+        heap: List[Tuple[int, int]] = []
+
+        def read_record(block: int) -> Optional[MapRecord]:
+            sector = block * self.sectors_per_block
+            if timed:
+                raw, cost = self.disk.read(
+                    sector, self.sectors_per_block, charge_scsi=False
+                )
+                breakdown.add(cost)
+            else:
+                raw = self.disk.peek(sector, self.sectors_per_block)
+            return MapRecord.unpack(raw)
+
+        first = read_record(tail_block)
+        if first is None:
+            raise ValueError(f"block {tail_block} does not hold a map record")
+        heapq.heappush(heap, (-first.seqno, tail_block))
+        records[tail_block] = first
+        #: every valid version encountered, per chunk, youngest first
+        candidates: Dict[int, List[Tuple[int, int]]] = {}
+        committed: Set[int] = set()
+        while heap:
+            neg_seqno, block = heapq.heappop(heap)
+            if block in visited:
+                continue
+            visited.add(block)
+            record = records[block]
+            candidates.setdefault(record.chunk_id, []).append(
+                (record.seqno, block)
+            )
+            if record.is_commit and record.entries:
+                committed.add(record.entries[0])
+            for pointer in record.pointers():
+                if pointer in visited or pointer in records:
+                    continue
+                child = read_record(pointer)
+                if child is None:
+                    continue  # recycled block: prune this edge
+                if child.seqno >= record.seqno:
+                    # A younger record reused this block; the edge is stale.
+                    continue
+                records[pointer] = child
+                heapq.heappush(heap, (-child.seqno, pointer))
+
+        # Effective youngest per chunk: skip versions belonging to
+        # transactions whose commit record was never found -- the
+        # all-or-nothing guarantee (Section 3.2's atomic writes).
+        for chunk_id, versions in candidates.items():
+            for seqno, block in sorted(versions, reverse=True):
+                record = records[block]
+                if record.txn_id and record.txn_id not in committed:
+                    continue  # uncommitted: fall back to an older version
+                youngest[chunk_id] = (seqno, block)
+                chunks[chunk_id] = list(record.entries)
+                break
+
+        self._rebuild_state(youngest, records)
+        # Expose transaction outcomes to owners (for id reuse and space
+        # reclamation of uncommitted data blocks).
+        self.recovered_committed_txns = committed
+        self.last_txn_seen = max(
+            [self.last_txn_seen, *committed]
+            + [r.txn_id for r in records.values()]
+        )
+        # Map-chunk contents only; commit records are internal.
+        map_chunks = {
+            cid: payload
+            for cid, payload in chunks.items()
+            if cid < COMMIT_CHUNK_BASE
+        }
+        return map_chunks, breakdown, len(visited)
+
+    def _rebuild_state(
+        self,
+        youngest: Dict[int, Tuple[int, int]],
+        records: Dict[int, MapRecord],
+    ) -> None:
+        """Reconstitute the in-memory graph from recovered records."""
+        self._nodes.clear()
+        self._chunk_location.clear()
+        self._in_edges.clear()
+        live_blocks = {block for _seq, block in youngest.values()}
+        max_seqno = 0
+        tail_block: Optional[int] = None
+        self._txn_live_members.clear()
+        self._txn_slot.clear()
+        for chunk_id, (seqno, block) in youngest.items():
+            record = records[block]
+            node = _Node(
+                chunk_id=chunk_id, seqno=seqno, txn_id=record.txn_id
+            )
+            node.targets = [
+                p for p in record.pointers() if p in live_blocks
+            ]
+            self._nodes[block] = node
+            self._chunk_location[chunk_id] = block
+            if record.txn_id:
+                self._txn_live_members[record.txn_id] = (
+                    self._txn_live_members.get(record.txn_id, 0) + 1
+                )
+            if record.is_commit and record.entries:
+                self._txn_slot[record.entries[0]] = chunk_id
+            if seqno > max_seqno:
+                max_seqno = seqno
+                tail_block = block
+        # Commit slots whose transactions no longer have live members are
+        # free for reuse.
+        self._free_commit_slots = []
+        for txn in [
+            t
+            for t in self._txn_slot
+            if self._txn_live_members.get(t, 0) == 0
+        ]:
+            self._free_commit_slots.append(self._txn_slot.pop(txn))
+        if self._nodes:
+            commit_ids = [
+                c for c in self._chunk_location if c >= COMMIT_CHUNK_BASE
+            ]
+            if commit_ids:
+                self._next_commit_slot = max(commit_ids) + 1
+        for block, node in self._nodes.items():
+            for target in node.targets:
+                self._in_edges.setdefault(target, set()).add(block)
+        self.tail = tail_block
+        self.next_seqno = max_seqno + 1
+        # After recovery the tail may no longer dominate every live record
+        # (stale edges were pruned); rewriting any unreachable chunks would
+        # restore the invariant.  Detect and repair:
+        unreachable = self._unreachable_live_blocks()
+        for block in unreachable:
+            self.relocate(self._nodes[block].chunk_id)
+
+    def _unreachable_live_blocks(self) -> List[int]:
+        """Live record blocks not reachable from the tail via live edges."""
+        if self.tail is None:
+            return []
+        seen: Set[int] = set()
+        stack = [self.tail]
+        while stack:
+            block = stack.pop()
+            if block in seen:
+                continue
+            seen.add(block)
+            stack.extend(
+                t
+                for t in self._nodes[block].targets
+                if t not in seen and t in self._nodes
+            )
+        return [b for b in self._nodes if b not in seen]
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used heavily by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal consistency is violated."""
+        edges: Dict[int, Set[int]] = {}
+        for block, node in self._nodes.items():
+            if not node.superseded:
+                assert self._chunk_location.get(node.chunk_id) == block, (
+                    f"chunk {node.chunk_id} location desynchronised"
+                )
+            assert len(node.targets) == len(set(node.targets)), (
+                "duplicate out-edges"
+            )
+            for target in node.targets:
+                assert target in self._nodes, (
+                    f"record {block} holds dangling edge to {target}"
+                )
+                edges.setdefault(target, set()).add(block)
+        assert edges == self._in_edges, "in-edge sets desynchronised"
+        for block, node in self._nodes.items():
+            if block != self.tail:
+                assert self._in_edges.get(block), (
+                    f"live record {block} has no live in-edge"
+                )
+        if self._nodes:
+            assert self.tail in self._nodes, "tail must be a live record"
+            tail_seqno = self._nodes[self.tail].seqno
+            for block, node in self._nodes.items():
+                if block != self.tail:
+                    assert node.seqno < tail_seqno, "tail must be youngest"
+        unreachable = self._unreachable_live_blocks()
+        assert not unreachable, f"live records unreachable: {unreachable}"

@@ -1,0 +1,418 @@
+"""The Virtual Log Disk (Sections 3, 4.2).
+
+A VLD packages eager writing, the indirection map, and the virtual log
+behind the ordinary block-device interface, so an *unmodified* file system
+gets the latency benefits.  Per logical write the drive:
+
+1. eagerly writes the data to a free physical block near the head,
+2. updates the in-memory indirection map, and
+3. appends the affected map chunk to the virtual log (the commit point --
+   one extra internal disk write, placed near the head as well).
+
+The old physical copy (and the old map-record block) are recycled
+afterwards; re-use of a logical address is how deletes are detected
+("monitor overwrites", Section 4.2).  One SCSI command overhead is charged
+per host request regardless of how many internal I/Os the drive issues --
+the virtual log runs on the drive's own processor.
+
+Crash/recovery: :meth:`power_down` persists the log tail for fast restarts;
+:meth:`crash` models an abrupt failure.  :meth:`recover` rebuilds the map
+from the tail record, or by scanning when that record is missing/corrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.blockdev.interface import BlockDevice
+from repro.disk.disk import Disk
+from repro.disk.freemap import FreeSpaceMap
+from repro.sim.stats import Breakdown
+from repro.vlog.allocator import AllocationPolicy, EagerAllocator
+from repro.vlog.imap import IndirectionMap
+from repro.vlog.recovery import PowerDownStore, RecoveryOutcome, scan_for_tail
+from repro.vlog.virtual_log import VirtualLog
+
+
+class VirtualLogDisk(BlockDevice):
+    """Eager-writing logical disk over a simulated drive.
+
+    Args:
+        disk: The underlying simulated disk.
+        block_size: Physical (and logical) block size; the paper uses 4 KB
+            (Section 4.2, justified by formula (9)).
+        policy: Eager allocation policy; ``TRACK_FILL`` is the paper's
+            compactor-assisted configuration.
+        fill_threshold: Track fill target for ``TRACK_FILL`` (0.75).
+        slack_fraction: Physical blocks withheld from the logical capacity
+            so eager writing always finds somewhere to go.
+    """
+
+    #: Physical block housing the firmware power-down record; never
+    #: allocated, never moved.
+    POWER_DOWN_BLOCK = 0
+
+    def __init__(
+        self,
+        disk: Disk,
+        block_size: int = 4096,
+        map_record_bytes: int = 512,
+        policy: AllocationPolicy = AllocationPolicy.TRACK_FILL,
+        fill_threshold: float = 0.75,
+        slack_fraction: float = 0.02,
+    ) -> None:
+        if block_size % disk.sector_bytes != 0:
+            raise ValueError("block size must be a multiple of the sector size")
+        if map_record_bytes % disk.sector_bytes != 0:
+            raise ValueError("map records must be whole sectors")
+        self.disk = disk
+        self.block_size = block_size
+        self.map_record_bytes = map_record_bytes
+        self.sectors_per_block = block_size // disk.sector_bytes
+        self.physical_blocks = disk.total_sectors // self.sectors_per_block
+        slack = max(8, int(self.physical_blocks * slack_fraction))
+        # Map overhead: one live record per chunk (Section 4.2: 4 bytes per
+        # physical block, ~24 KB of map sectors for the 24 MB disk).
+        from repro.vlog.entries import entries_per_chunk
+
+        chunk_capacity = entries_per_chunk(map_record_bytes)
+        logical = self.physical_blocks - 1 - slack  # -1: power-down block
+        map_sectors = -(-logical // chunk_capacity) * (
+            map_record_bytes // disk.sector_bytes
+        )
+        logical -= -(-map_sectors // self.sectors_per_block) + 1
+        if logical <= 0:
+            raise ValueError("disk too small for a virtual log disk")
+        self.num_blocks = logical
+
+        self.freemap = FreeSpaceMap(disk.geometry)
+        self.allocator = EagerAllocator(
+            disk,
+            self.freemap,
+            block_sectors=self.sectors_per_block,
+            policy=policy,
+            fill_threshold=fill_threshold,
+        )
+        self.allocator.reserve_block(self.POWER_DOWN_BLOCK)
+        #: Separate eager allocator for (sub-block) map records: single
+        #: free sectors are plentiful even when aligned block runs are
+        #: not, which is what keeps map updates cheap at high utilization.
+        self.map_allocator = EagerAllocator(
+            disk,
+            self.freemap,
+            block_sectors=map_record_bytes // disk.sector_bytes,
+            policy=AllocationPolicy.GREEDY_CYLINDER,
+        )
+        self.imap = IndirectionMap(self.num_blocks, map_record_bytes)
+        self.vlog = VirtualLog(
+            disk,
+            self.map_allocator,
+            chunk_provider=self.imap.chunk_entries,
+            block_size=map_record_bytes,
+        )
+        self.power_store = PowerDownStore(
+            disk, self.POWER_DOWN_BLOCK, block_size
+        )
+        #: physical block -> logical block, for the compactor.
+        self.reverse: Dict[int, int] = {}
+        self.logical_writes = 0
+        self.logical_reads = 0
+        self.compaction_enabled = True
+        self._compactor = None
+        #: True while a valid power-down record sits on disk.  Any write
+        #: after an orderly power-down invalidates it first, or a later
+        #: crash would recover to the stale tail it names.
+        self._power_record_armed = False
+
+    @property
+    def compactor(self):
+        """The idle-time free-space compactor (created on first use)."""
+        if self._compactor is None:
+            from repro.vlog.compactor import FreeSpaceCompactor
+
+            self._compactor = FreeSpaceCompactor(self)
+        return self._compactor
+
+    def idle(self, seconds: float) -> None:
+        """Idle time goes to the compactor; any remainder simply passes."""
+        if seconds < 0.0:
+            raise ValueError("idle time must be non-negative")
+        deadline = self.disk.clock.now + seconds
+        if self.compaction_enabled:
+            self.compactor.run_for(seconds)
+        self.disk.clock.advance_to(deadline)
+
+    # ------------------------------------------------------------------
+    # BlockDevice interface
+    # ------------------------------------------------------------------
+
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        return self.read_blocks(lba, 1)
+
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        self.check_lba(lba, count)
+        breakdown = self._charge_scsi()
+        pieces: List[bytes] = []
+        # Coalesce physically contiguous runs into single media accesses --
+        # sequentially written data usually is contiguous thanks to
+        # track-fill allocation.
+        run_start: Optional[int] = None
+        run_len = 0
+        for i in range(count):
+            physical = self.imap.get(lba + i)
+            if physical is None:
+                self._flush_read_run(run_start, run_len, pieces, breakdown)
+                run_start, run_len = None, 0
+                pieces.append(bytes(self.block_size))
+                continue
+            if run_start is not None and physical == run_start + run_len:
+                run_len += 1
+                continue
+            self._flush_read_run(run_start, run_len, pieces, breakdown)
+            run_start, run_len = physical, 1
+        self._flush_read_run(run_start, run_len, pieces, breakdown)
+        self.logical_reads += count
+        return b"".join(pieces), breakdown
+
+    def _flush_read_run(
+        self,
+        run_start: Optional[int],
+        run_len: int,
+        pieces: List[bytes],
+        breakdown: Breakdown,
+    ) -> None:
+        if run_start is None or run_len == 0:
+            return
+        data, cost = self.disk.read(
+            run_start * self.sectors_per_block,
+            run_len * self.sectors_per_block,
+            charge_scsi=False,
+        )
+        breakdown.add(cost)
+        pieces.append(data)
+
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        return self.write_blocks(lba, 1, data)
+
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        self.check_lba(lba, count)
+        data = self.check_data(data, count)
+        breakdown = self._charge_scsi()
+        self._disarm_power_record(breakdown)
+        # Process in runs that share a map chunk: write the data blocks of
+        # the run, commit the chunk's map record once, then recycle the old
+        # copies.  This both batches map updates (Section 3.2's transaction
+        # note) and bounds transient space demand.
+        i = 0
+        while i < count:
+            chunk_id = self.imap.chunk_id_of(lba + i)
+            j = i
+            while j < count and self.imap.chunk_id_of(lba + j) == chunk_id:
+                j += 1
+            self._write_run(lba + i, data, i, j - i, chunk_id, breakdown)
+            i = j
+        self.logical_writes += count
+        return breakdown
+
+    def _write_run(
+        self,
+        lba: int,
+        data: bytes,
+        data_offset_blocks: int,
+        count: int,
+        chunk_id: int,
+        breakdown: Breakdown,
+    ) -> None:
+        displaced: List[int] = []
+        for i in range(count):
+            new_block = self.allocator.allocate()
+            lo = (data_offset_blocks + i) * self.block_size
+            breakdown.add(
+                self.disk.write(
+                    new_block * self.sectors_per_block,
+                    self.sectors_per_block,
+                    data[lo : lo + self.block_size],
+                    charge_scsi=False,
+                )
+            )
+            old = self.imap.set(lba + i, new_block)
+            self.reverse[new_block] = lba + i
+            if old is not None:
+                displaced.append(old)
+        # Commit point: the map chunk reaches the virtual log.
+        breakdown.add(
+            self.vlog.append(chunk_id, self.imap.chunk_entries(chunk_id))
+        )
+        # Only now may the old copies be recycled (atomicity: a crash
+        # before the commit recovers the old mapping and old data).
+        for old in displaced:
+            self.reverse.pop(old, None)
+            self.allocator.free_block(old)
+
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        """Sub-block write: the VLD must read-modify-write a whole physical
+        block (Section 4.2's internal-fragmentation bias against UFS)."""
+        self.check_lba(lba, 1)
+        if offset % self.disk.sector_bytes != 0:
+            raise ValueError("partial writes must be sector aligned")
+        if offset + len(data) > self.block_size:
+            raise ValueError("partial write exceeds the block")
+        breakdown = self._charge_scsi()
+        self._disarm_power_record(breakdown)
+        physical = self.imap.get(lba)
+        if physical is None:
+            old = bytes(self.block_size)
+        else:
+            old, cost = self.disk.read(
+                physical * self.sectors_per_block,
+                self.sectors_per_block,
+                charge_scsi=False,
+            )
+            breakdown.add(cost)
+        merged = old[:offset] + data + old[offset + len(data) :]
+        chunk_id = self.imap.chunk_id_of(lba)
+        self._write_run(lba, merged, 0, 1, chunk_id, breakdown)
+        self.logical_writes += 1
+        return breakdown
+
+    def trim(self, lba: int, count: int = 1) -> Breakdown:
+        """Explicitly free logical blocks (the delete visibility a logical
+        disk otherwise lacks; Section 4.2 notes un-overwritten frees are
+        missed without this)."""
+        self.check_lba(lba, count)
+        breakdown = Breakdown()
+        self._disarm_power_record(breakdown)
+        touched: Dict[int, None] = {}
+        displaced: List[int] = []
+        for i in range(count):
+            old = self.imap.clear(lba + i)
+            if old is not None:
+                displaced.append(old)
+                touched[self.imap.chunk_id_of(lba + i)] = None
+        for chunk_id in touched:
+            breakdown.add(
+                self.vlog.append(chunk_id, self.imap.chunk_entries(chunk_id))
+            )
+        for old in displaced:
+            self.reverse.pop(old, None)
+            self.allocator.free_block(old)
+        return breakdown
+
+    def _charge_scsi(self) -> Breakdown:
+        breakdown = Breakdown()
+        breakdown.charge("scsi", self.disk.spec.scsi_overhead)
+        self.disk.clock.advance(self.disk.spec.scsi_overhead)
+        return breakdown
+
+    def _disarm_power_record(self, breakdown: Breakdown) -> None:
+        """Erase a now-stale power-down record before mutating the log."""
+        if self._power_record_armed:
+            self._power_record_armed = False
+            breakdown.add(self.power_store.clear(timed=True))
+
+    # ------------------------------------------------------------------
+    # Crash, power-down, recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Physical space utilization in [0, 1]."""
+        return self.freemap.utilization
+
+    def power_down(self, timed: bool = True) -> Breakdown:
+        """Orderly shutdown: persist the log tail at the fixed location."""
+        if self.vlog.tail is None:
+            return Breakdown()
+        self._power_record_armed = True
+        return self.power_store.write(
+            self.vlog.tail, self.vlog.next_seqno - 1, timed
+        )
+
+    def recover(self, timed: bool = True) -> RecoveryOutcome:
+        """Rebuild all volatile state from the disk (Section 3.2).
+
+        Reads the power-down record; when valid, traverses the virtual log
+        from the recorded tail.  Otherwise scans the disk for the youngest
+        checksummed map record and traverses from there.
+        """
+        record, read_cost = self.power_store.read(timed)
+        breakdown = Breakdown().add(read_cost)
+        scanned = False
+        blocks_scanned = 0
+        if record is not None:
+            tail = record[0]
+        else:
+            scanned = True
+            tail, scan_cost, blocks_scanned = scan_for_tail(
+                self.disk,
+                self.map_record_bytes,
+                skip_sectors=(self.POWER_DOWN_BLOCK + 1)
+                * self.sectors_per_block,
+                timed=timed,
+            )
+            breakdown.add(scan_cost)
+        self._power_record_armed = False
+        if tail is None:
+            # Nothing was ever written: a fresh device.
+            self._reset_volatile_state()
+            return RecoveryOutcome(
+                used_power_down_record=False,
+                scanned=scanned,
+                records_read=0,
+                blocks_scanned=blocks_scanned,
+                breakdown=breakdown,
+            )
+        chunks, traverse_cost, records_read = self.vlog.recover_from_tail(
+            tail, timed=timed
+        )
+        breakdown.add(traverse_cost)
+        self.imap.load_chunks(chunks)
+        self._rebuild_space_state()
+        breakdown.add(self.power_store.clear(timed))
+        return RecoveryOutcome(
+            used_power_down_record=record is not None,
+            scanned=scanned,
+            records_read=records_read,
+            blocks_scanned=blocks_scanned,
+            breakdown=breakdown,
+        )
+
+    def crash(self) -> None:
+        """Abrupt failure: volatile state is lost; the disk image remains.
+
+        Call :meth:`recover` afterwards to resume service.  (The power-down
+        record is *not* written -- and any stale record from an earlier
+        orderly shutdown would have been cleared at recovery, so a crash
+        after normal operation forces the scan path unless the firmware
+        managed the residual-power write, which callers model by invoking
+        :meth:`power_down` first.)
+        """
+        self._reset_volatile_state()
+
+    def _reset_volatile_state(self) -> None:
+        self.imap.load_chunks({})
+        self.reverse.clear()
+        self.vlog.reset_volatile()
+        self._rebuild_space_state()
+
+    def _rebuild_space_state(self) -> None:
+        """Recompute the free map and reverse map from imap + vlog state."""
+        geometry = self.disk.geometry
+        self.freemap.mark_free(0, geometry.total_sectors)
+        self.freemap.mark_used(
+            self.POWER_DOWN_BLOCK * self.sectors_per_block,
+            self.sectors_per_block,
+        )
+        self.reverse.clear()
+        for lba, physical in self.imap.items():
+            self.freemap.mark_used(
+                physical * self.sectors_per_block, self.sectors_per_block
+            )
+            self.reverse[physical] = lba
+        for record in self.vlog.live_blocks():
+            self.freemap.mark_used(
+                record * self.vlog.sectors_per_block,
+                self.vlog.sectors_per_block,
+            )

@@ -1,0 +1,42 @@
+"""Bursts of updates separated by idle intervals (Figures 10, 11).
+
+"We modify the benchmark of Section 5.3 to perform a burst of random
+updates, pause, and repeat.  The disk utilization is kept at 80 %."
+(Section 5.5.)  During the pauses the LFS cleaner or the VLD compactor may
+run; the latency reported is the steady-state mean per 4 KB write.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fs.api import FileSystem
+from repro.sim.stats import LatencyRecorder
+
+
+def run_bursts(
+    fs: FileSystem,
+    path: str,
+    file_bytes: int,
+    burst_bytes: int,
+    idle_seconds: float,
+    bursts: int,
+    io_bytes: int = 4096,
+    sync: bool = True,
+    warmup_bursts: int = 1,
+    seed: int = 0xB025,
+) -> LatencyRecorder:
+    """Run ``bursts`` bursts of ``burst_bytes`` random updates each."""
+    rng = random.Random(seed)
+    nblocks = file_bytes // io_bytes
+    writes_per_burst = max(1, burst_bytes // io_bytes)
+    payload = b"\x5A" * io_bytes
+    recorder = LatencyRecorder()
+    for burst in range(warmup_bursts + bursts):
+        for _ in range(writes_per_burst):
+            block = rng.randrange(nblocks)
+            breakdown = fs.write(path, block * io_bytes, payload, sync=sync)
+            if burst >= warmup_bursts:
+                recorder.record(breakdown)
+        fs.idle(idle_seconds)
+    return recorder

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Most tests run against the Seagate ST19101 model with the paper's simulated
+11-cylinder slice (fast), switching to the HP97560 where a test targets
+old-disk behaviour explicitly.
+"""
+
+import pytest
+
+from repro.blockdev.regular import RegularDisk
+from repro.disk.disk import Disk
+from repro.disk.specs import HP97560, ST19101
+from repro.hosts.specs import SPARCSTATION_10, ULTRASPARC_170
+from repro.lfs.lfs import LFS
+from repro.sim.clock import SimClock
+from repro.ufs.ufs import UFS
+from repro.vlog.vld import VirtualLogDisk
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def seagate(clock):
+    return Disk(ST19101, clock)
+
+
+@pytest.fixture
+def hp(clock):
+    return Disk(HP97560, clock)
+
+
+@pytest.fixture
+def regular_device(seagate):
+    return RegularDisk(seagate)
+
+
+@pytest.fixture
+def vld(seagate):
+    return VirtualLogDisk(seagate)
+
+
+@pytest.fixture
+def host():
+    return SPARCSTATION_10
+
+
+@pytest.fixture
+def fast_host():
+    return ULTRASPARC_170
+
+
+@pytest.fixture
+def ufs(regular_device, host):
+    return UFS(regular_device, host)
+
+
+@pytest.fixture
+def ufs_vld(vld, host):
+    return UFS(vld, host)
+
+
+@pytest.fixture
+def lfs(regular_device, host):
+    return LFS(regular_device, host)
+
+
+@pytest.fixture
+def lfs_nvram(regular_device, host):
+    return LFS(regular_device, host, nvram=True)

@@ -1,0 +1,72 @@
+from repro.disk.cache import ReadAheadPolicy, TrackBuffer
+
+
+TRACK = ((0, 0), 0, 256)  # key, lo, hi
+
+
+def test_disabled_policy_never_hits():
+    buf = TrackBuffer(ReadAheadPolicy.DISABLED)
+    assert not buf.note_read(*TRACK, 10, 4)
+    assert not buf.note_read(*TRACK, 10, 4)
+    assert buf.hit_rate == 0.0
+
+
+def test_dartmouth_readahead_to_end_of_track():
+    buf = TrackBuffer(ReadAheadPolicy.DARTMOUTH)
+    assert not buf.note_read(*TRACK, 10, 4)      # miss populates [10, 256)
+    assert buf.note_read(*TRACK, 100, 8)         # within read-ahead: hit
+    assert buf.hits == 1
+
+
+def test_dartmouth_discards_lower_addresses():
+    """Section 4.2: the stock policy discards data below the current
+    request -- fine for monotonic physical addresses, bad under a VLD."""
+    buf = TrackBuffer(ReadAheadPolicy.DARTMOUTH)
+    buf.note_read(*TRACK, 10, 4)
+    assert buf.note_read(*TRACK, 100, 8)         # hit; discards [10, 100)
+    assert not buf.note_read(*TRACK, 20, 4)      # lower address: miss now
+
+
+def test_full_track_policy_retains_lower_addresses():
+    buf = TrackBuffer(ReadAheadPolicy.FULL_TRACK)
+    buf.note_read(*TRACK, 100, 8)                # miss caches whole track
+    assert buf.note_read(*TRACK, 20, 4)          # lower address still hit
+    assert buf.note_read(*TRACK, 200, 8)
+
+
+def test_miss_on_other_track_replaces_segment():
+    buf = TrackBuffer(ReadAheadPolicy.FULL_TRACK)
+    buf.note_read(*TRACK, 0, 4)
+    other = ((0, 1), 256, 512)
+    assert not buf.note_read(*other, 300, 4)
+    assert buf.note_read(*other, 400, 4)
+    assert not buf.note_read(*TRACK, 0, 4)
+
+
+def test_write_invalidates_overlap():
+    buf = TrackBuffer(ReadAheadPolicy.FULL_TRACK)
+    buf.note_read(*TRACK, 0, 4)
+    buf.note_write(128, 8)
+    assert not buf.note_read(*TRACK, 10, 4)
+
+
+def test_write_outside_does_not_invalidate():
+    buf = TrackBuffer(ReadAheadPolicy.FULL_TRACK)
+    buf.note_read(*TRACK, 0, 4)
+    buf.note_write(1000, 8)
+    assert buf.note_read(*TRACK, 10, 4)
+
+
+def test_invalidate_clears():
+    buf = TrackBuffer(ReadAheadPolicy.FULL_TRACK)
+    buf.note_read(*TRACK, 0, 4)
+    buf.invalidate()
+    assert not buf.contains(0, 4)
+
+
+def test_hit_rate():
+    buf = TrackBuffer(ReadAheadPolicy.DARTMOUTH)
+    buf.note_read(*TRACK, 0, 4)
+    buf.note_read(*TRACK, 4, 4)
+    buf.note_read(*TRACK, 8, 4)
+    assert buf.hit_rate == 2 / 3

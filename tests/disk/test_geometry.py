@@ -1,0 +1,87 @@
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.specs import HP97560, ST19101
+
+
+@pytest.fixture
+def geo():
+    return DiskGeometry(ST19101)  # 11 simulated cylinders
+
+
+class TestAddressing:
+    def test_total_sectors(self, geo):
+        assert geo.total_sectors == 11 * 16 * 256
+
+    def test_capacity(self, geo):
+        assert geo.capacity_bytes == geo.total_sectors * 512
+
+    def test_compose_decompose_roundtrip(self, geo):
+        for sector in range(0, geo.total_sectors, 1013):
+            cylinder, head, sect = geo.decompose(sector)
+            assert geo.compose(cylinder, head, sect) == sector
+
+    def test_linear_order(self, geo):
+        # Conventional order: sectors, then heads, then cylinders.
+        assert geo.decompose(0) == (0, 0, 0)
+        assert geo.decompose(255) == (0, 0, 255)
+        assert geo.decompose(256) == (0, 1, 0)
+        assert geo.decompose(256 * 16) == (1, 0, 0)
+
+    def test_track_start(self, geo):
+        assert geo.track_start(2, 3) == 2 * 256 * 16 + 3 * 256
+
+    def test_out_of_range_sector(self, geo):
+        with pytest.raises(ValueError):
+            geo.decompose(geo.total_sectors)
+        with pytest.raises(ValueError):
+            geo.decompose(-1)
+
+    def test_out_of_range_track(self, geo):
+        with pytest.raises(ValueError):
+            geo.compose(11, 0, 0)
+        with pytest.raises(ValueError):
+            geo.compose(0, 16, 0)
+        with pytest.raises(ValueError):
+            geo.compose(0, 0, 256)
+
+    def test_cannot_exceed_drive_cylinders(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(ST19101, num_cylinders=ST19101.num_cylinders + 1)
+
+    def test_full_drive_geometry(self):
+        geo = DiskGeometry(HP97560, num_cylinders=HP97560.num_cylinders)
+        assert geo.total_sectors == 1962 * 19 * 72
+
+
+class TestSkew:
+    def test_skew_zero_on_first_track(self):
+        geo = DiskGeometry(ST19101)
+        assert geo.skew_offset(0, 0) == 0
+
+    def test_track_skew_applied_per_head(self):
+        geo = DiskGeometry(ST19101)
+        expected = ST19101.track_skew_sectors % 256
+        assert geo.skew_offset(0, 1) == expected
+
+    def test_cylinder_skew_applied_per_cylinder(self):
+        geo = DiskGeometry(ST19101)
+        expected = ST19101.cylinder_skew_sectors % 256
+        assert geo.skew_offset(1, 0) == expected
+
+    def test_angle_inverse(self):
+        geo = DiskGeometry(HP97560)
+        for cylinder, head in ((0, 0), (3, 7), (35, 18)):
+            for sect in (0, 1, 71):
+                slot = geo.angle_of(cylinder, head, sect)
+                assert geo.sector_at_angle(cylinder, head, slot) == sect
+
+    def test_sequential_across_track_boundary_is_staggered(self):
+        # The first sector of the next track must start a bit after the
+        # last sector of the previous one, angularly.
+        geo = DiskGeometry(ST19101)
+        end_angle = geo.angle_of(0, 0, 255)
+        next_angle = geo.angle_of(0, 1, 0)
+        gap = (next_angle - end_angle) % 256
+        switch_slots = ST19101.head_switch_time / ST19101.sector_time
+        assert 0 < gap - 1 <= switch_slots + 2  # ceil plus one guard slot

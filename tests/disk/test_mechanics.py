@@ -1,0 +1,79 @@
+import pytest
+
+from repro.disk.mechanics import DiskMechanics
+from repro.disk.specs import HP97560, ST19101
+
+
+@pytest.fixture
+def mech():
+    return DiskMechanics(ST19101)
+
+
+class TestRotation:
+    def test_position_at_time_zero(self, mech):
+        assert mech.rotational_slot(0.0) == pytest.approx(0.0)
+
+    def test_position_wraps_each_revolution(self, mech):
+        assert mech.rotational_slot(mech.rotation_time) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_position_mid_revolution(self, mech):
+        half = mech.rotation_time / 2
+        assert mech.rotational_slot(half) == pytest.approx(128.0)
+
+    def test_negative_time_rejected(self, mech):
+        with pytest.raises(ValueError):
+            mech.rotational_slot(-1.0)
+
+    def test_wait_for_current_slot_is_zero(self, mech):
+        assert mech.wait_for_slot(0.0, 0) == pytest.approx(0.0)
+
+    def test_wait_wraps_around(self, mech):
+        # Just past slot 10: must wait almost a full revolution for it.
+        now = 10.5 * mech.sector_time
+        wait = mech.wait_for_slot(now, 10)
+        assert wait == pytest.approx(255.5 * mech.sector_time)
+
+    def test_wait_bounded_by_revolution(self, mech):
+        for slot in (0, 100, 255):
+            wait = mech.wait_for_slot(0.00123, slot)
+            assert 0.0 <= wait < mech.rotation_time
+
+    def test_wait_bad_slot(self, mech):
+        with pytest.raises(ValueError):
+            mech.wait_for_slot(0.0, 256)
+
+
+class TestTransferAndPositioning:
+    def test_transfer_scales_linearly(self, mech):
+        assert mech.transfer_time(8) == pytest.approx(8 * mech.sector_time)
+
+    def test_transfer_zero(self, mech):
+        assert mech.transfer_time(0) == 0.0
+
+    def test_transfer_negative_rejected(self, mech):
+        with pytest.raises(ValueError):
+            mech.transfer_time(-1)
+
+    def test_seek_symmetry(self, mech):
+        assert mech.seek_time(0, 5) == mech.seek_time(5, 0)
+
+    def test_head_switch_only_when_heads_differ(self, mech):
+        assert mech.head_switch_time(3, 3) == 0.0
+        assert mech.head_switch_time(0, 1) == ST19101.head_switch_time
+
+    def test_positioning_overlaps_seek_and_switch(self, mech):
+        # Concurrent: max, not sum.
+        seek = mech.seek_time(0, 5)
+        switch = ST19101.head_switch_time
+        combined = mech.positioning_time(0, 0, 5, 1)
+        assert combined == pytest.approx(max(seek, switch))
+
+    def test_positioning_same_track_free(self, mech):
+        assert mech.positioning_time(2, 3, 2, 3) == 0.0
+
+    def test_hp_rotation_slower(self):
+        hp = DiskMechanics(HP97560)
+        sg = DiskMechanics(ST19101)
+        assert hp.rotation_time > 2 * sg.rotation_time

@@ -1,0 +1,138 @@
+"""Table 1 of the paper, verified against the spec objects."""
+
+import pytest
+
+from repro.disk.specs import DISKS, HP97560, ST19101, DiskSpec
+
+
+class TestTable1:
+    def test_hp_sectors_per_track(self):
+        assert HP97560.sectors_per_track == 72
+
+    def test_hp_tracks_per_cylinder(self):
+        assert HP97560.tracks_per_cylinder == 19
+
+    def test_hp_head_switch(self):
+        assert HP97560.head_switch_time == pytest.approx(2.5e-3)
+
+    def test_hp_minimum_seek(self):
+        # Table 1: 3.6 ms.
+        assert HP97560.min_seek_time == pytest.approx(3.64e-3, abs=0.1e-3)
+
+    def test_hp_rpm(self):
+        assert HP97560.rpm == pytest.approx(4002)
+
+    def test_hp_scsi_overhead(self):
+        assert HP97560.scsi_overhead == pytest.approx(2.3e-3)
+
+    def test_seagate_sectors_per_track(self):
+        assert ST19101.sectors_per_track == 256
+
+    def test_seagate_tracks_per_cylinder(self):
+        assert ST19101.tracks_per_cylinder == 16
+
+    def test_seagate_head_switch(self):
+        assert ST19101.head_switch_time == pytest.approx(0.5e-3)
+
+    def test_seagate_minimum_seek(self):
+        assert ST19101.min_seek_time == pytest.approx(0.5e-3, abs=0.05e-3)
+
+    def test_seagate_rpm(self):
+        assert ST19101.rpm == pytest.approx(10000)
+
+    def test_seagate_scsi_overhead(self):
+        assert ST19101.scsi_overhead == pytest.approx(0.1e-3)
+
+
+class TestDerivedQuantities:
+    def test_rotation_time_from_rpm(self):
+        assert ST19101.rotation_time == pytest.approx(6e-3, rel=1e-3)
+        assert HP97560.rotation_time == pytest.approx(60.0 / 4002)
+
+    def test_sector_time(self):
+        assert ST19101.sector_time == pytest.approx(
+            ST19101.rotation_time / 256
+        )
+
+    def test_seek_curve_monotonic(self):
+        for spec in (HP97560, ST19101):
+            previous = 0.0
+            for distance in range(1, spec.num_cylinders, 97):
+                current = spec.seek_time(distance)
+                assert current >= previous
+                previous = current
+
+    def test_zero_seek_is_free(self):
+        assert HP97560.seek_time(0) == 0.0
+
+    def test_negative_seek_rejected(self):
+        with pytest.raises(ValueError):
+            HP97560.seek_time(-1)
+
+    def test_track_skew_covers_head_switch(self):
+        for spec in (HP97560, ST19101):
+            assert (
+                spec.track_skew_sectors * spec.sector_time
+                >= spec.head_switch_time
+            )
+
+    def test_cylinder_skew_covers_min_seek(self):
+        for spec in (HP97560, ST19101):
+            assert (
+                spec.cylinder_skew_sectors * spec.sector_time
+                >= spec.min_seek_time
+            )
+
+    def test_media_bandwidth_improves_on_newer_disk(self):
+        # The paper's premise: disk bandwidth grows ~40 %/year.
+        assert ST19101.media_bandwidth > 4 * HP97560.media_bandwidth
+
+    def test_sim_cylinders_give_paper_scale(self):
+        # ~24 MB slices (limited kernel memory, Section 4.1).
+        hp_bytes = (
+            HP97560.sim_cylinders
+            * HP97560.tracks_per_cylinder
+            * HP97560.track_bytes
+        )
+        sg_bytes = (
+            ST19101.sim_cylinders
+            * ST19101.tracks_per_cylinder
+            * ST19101.track_bytes
+        )
+        assert 20 * 2**20 < hp_bytes < 28 * 2**20
+        assert 20 * 2**20 < sg_bytes < 28 * 2**20
+
+    def test_registry(self):
+        assert DISKS["hp97560"] is HP97560
+        assert DISKS["st19101"] is ST19101
+
+    def test_projected_disk_continues_the_trends(self):
+        """The FUTURE2004 extrapolation must actually extrapolate: faster
+        in every dimension the paper's Section 1 trends name."""
+        from repro.disk.specs import FUTURE2004
+
+        assert FUTURE2004.media_bandwidth > 2 * ST19101.media_bandwidth
+        assert FUTURE2004.rotation_time < ST19101.rotation_time
+        assert FUTURE2004.min_seek_time < ST19101.min_seek_time
+        assert FUTURE2004.head_switch_time < ST19101.head_switch_time
+        assert FUTURE2004.scsi_overhead < ST19101.scsi_overhead
+        assert FUTURE2004.sectors_per_track % 8 == 0  # 4 KB alignment
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(
+                name="bad",
+                sectors_per_track=0,
+                tracks_per_cylinder=1,
+                num_cylinders=1,
+                sim_cylinders=1,
+                rpm=1000,
+                head_switch_time=0.001,
+                scsi_overhead=0.001,
+                sector_bytes=512,
+                seek_short_a=0.001,
+                seek_short_b=0.001,
+                seek_long_c=0.001,
+                seek_long_e=0.001,
+                seek_boundary=10,
+            )

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.fs.inode import (
+    FileType,
+    INODE_SIZE,
+    Inode,
+    NUM_DIRECT,
+    max_file_blocks,
+    pointers_per_block,
+)
+
+
+class TestSerialisation:
+    def test_size_is_fixed(self):
+        assert len(Inode().pack()) == INODE_SIZE
+
+    def test_roundtrip(self):
+        inode = Inode(
+            itype=FileType.REGULAR,
+            nlink=2,
+            size=123456,
+            atime=1.5,
+            mtime=2.5,
+            generation=9,
+            direct=list(range(100, 100 + NUM_DIRECT)),
+            indirect=7777,
+            double_indirect=8888,
+        )
+        parsed = Inode.unpack(inode.pack())
+        assert parsed == inode
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Inode.unpack(b"short")
+
+    def test_fresh_inode_is_free(self):
+        assert Inode().is_free
+        assert not Inode().is_dir
+
+    def test_directory_flag(self):
+        assert Inode(itype=FileType.DIRECTORY).is_dir
+
+
+class TestTailFrags:
+    def test_roundtrip(self):
+        inode = Inode()
+        inode.set_tail_frags(1234, 3)
+        assert inode.tail_frags() == (1234, 3)
+        parsed = Inode.unpack(inode.pack())
+        assert parsed.tail_frags() == (1234, 3)
+
+    def test_zero_count_clears(self):
+        inode = Inode()
+        inode.set_tail_frags(99, 2)
+        inode.set_tail_frags(0, 0)
+        assert inode.tail_frags() == (0, 0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        inode = Inode(itype=FileType.REGULAR, nlink=1, size=5000)
+        inode.direct[0] = 42
+        inode.indirect = 9
+        inode.set_tail_frags(3, 1)
+        inode.reset()
+        assert inode.is_free
+        assert inode.size == 0
+        assert inode.direct == [0] * NUM_DIRECT
+        assert inode.indirect == 0
+        assert inode.tail_frags() == (0, 0)
+
+
+class TestGeometryHelpers:
+    def test_pointers_per_block(self):
+        assert pointers_per_block(4096) == 1024
+
+    def test_max_file_blocks(self):
+        assert max_file_blocks(4096) == 12 + 1024 + 1024 * 1024
+
+    def test_ten_mb_file_addressable(self):
+        # Figure 7's workload must fit the inode geometry.
+        assert max_file_blocks(4096) * 4096 > 10 * 2**20

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.fs.api import FileSystemError
+from repro.fs.path import dirname_basename, split_path, validate_name
+
+
+class TestValidateName:
+    def test_valid_names_pass(self):
+        for name in ("a", "file.txt", "UPPER", "with space", "x" * 255):
+            assert validate_name(name) == name
+
+    def test_empty_rejected(self):
+        with pytest.raises(FileSystemError):
+            validate_name("")
+
+    def test_dot_names_rejected(self):
+        for bad in (".", ".."):
+            with pytest.raises(FileSystemError):
+                validate_name(bad)
+
+    def test_slash_rejected(self):
+        with pytest.raises(FileSystemError):
+            validate_name("a/b")
+
+    def test_nul_rejected(self):
+        with pytest.raises(FileSystemError):
+            validate_name("a\x00b")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(FileSystemError):
+            validate_name("x" * 256)
+
+
+class TestSplitPath:
+    def test_root(self):
+        assert split_path("/") == []
+
+    def test_simple(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_repeated_slashes_collapse(self):
+        assert split_path("//a///b") == ["a", "b"]
+
+    def test_trailing_slash_ok(self):
+        assert split_path("/a/") == ["a"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(FileSystemError):
+            split_path("a/b")
+
+
+class TestDirnameBasename:
+    def test_split(self):
+        assert dirname_basename("/a/b/c") == (["a", "b"], "c")
+
+    def test_top_level(self):
+        assert dirname_basename("/file") == ([], "file")
+
+    def test_root_rejected(self):
+        with pytest.raises(FileSystemError):
+            dirname_basename("/")

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.blockdev.regular import RegularDisk
+from repro.harness.configs import (
+    STACKS,
+    StackConfig,
+    build_stack,
+    utilization_of,
+)
+from repro.lfs.lfs import LFS
+from repro.ufs.ufs import UFS
+from repro.vlog.vld import VirtualLogDisk
+
+
+class TestBuildStack:
+    def test_four_standard_stacks(self):
+        assert set(STACKS) == {
+            "ufs-regular", "ufs-vld", "lfs-regular", "lfs-vld",
+        }
+
+    def test_ufs_regular(self):
+        fs, disk, device = build_stack(STACKS["ufs-regular"])
+        assert isinstance(fs, UFS)
+        assert isinstance(device, RegularDisk)
+        assert disk.spec.name == "ST19101"
+
+    def test_ufs_vld(self):
+        fs, _disk, device = build_stack(STACKS["ufs-vld"])
+        assert isinstance(fs, UFS)
+        assert isinstance(device, VirtualLogDisk)
+
+    def test_lfs_variants(self):
+        for name in ("lfs-regular", "lfs-vld"):
+            fs, _disk, _device = build_stack(STACKS[name])
+            assert isinstance(fs, LFS)
+
+    def test_platform_override(self):
+        config = STACKS["ufs-regular"].with_platform("hp97560", "ultra170")
+        fs, disk, _device = build_stack(config)
+        assert disk.spec.name == "HP97560"
+        assert fs.host.name == "UltraSPARC-170"
+
+    def test_nvram_flag(self):
+        config = StackConfig(
+            "x", "lfs", "regular", "st19101", "sparc10", nvram=True
+        )
+        fs, _disk, _device = build_stack(config)
+        assert fs.cache.nvram
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(ValueError):
+            build_stack(StackConfig("x", "zfs", "regular"))
+        with pytest.raises(ValueError):
+            build_stack(StackConfig("x", "ufs", "nvme"))
+
+    def test_vld_uses_full_track_readahead(self):
+        """Section 4.2's read-ahead fix must be wired up for VLD stacks."""
+        from repro.disk.cache import ReadAheadPolicy
+
+        _fs, disk, _device = build_stack(STACKS["ufs-vld"])
+        assert disk.cache.policy is ReadAheadPolicy.FULL_TRACK
+
+
+class TestUtilization:
+    def test_ufs_utilization_grows_with_data(self):
+        fs, _disk, device = build_stack(STACKS["ufs-regular"])
+        before = utilization_of(fs, device)
+        fs.create("/f")
+        fs.write("/f", 0, bytes(4096) * 512)
+        fs.sync()
+        after = utilization_of(fs, device)
+        assert after > before
+        assert 0.0 <= after <= 1.0
+
+    def test_lfs_utilization_counts_nvram(self):
+        config = StackConfig(
+            "x", "lfs", "regular", "st19101", "sparc10", nvram=True
+        )
+        fs, _disk, device = build_stack(config)
+        fs.create("/f")
+        fs.write("/f", 0, bytes(4096) * 256)  # 1 MB, all in NVRAM
+        assert utilization_of(fs, device) > 0.0

@@ -1,0 +1,63 @@
+from repro.harness.report import format_table, series_to_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.5], ["long-name", 20]],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.500" in text  # floats get 3 decimals
+        assert "20" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert not text.startswith("\n")
+
+
+class TestSeriesToCsv:
+    def test_columns(self):
+        csv = series_to_csv({"x": [1, 2], "y": [0.5, 0.25]})
+        lines = csv.splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,0.5"
+        assert lines[2] == "2,0.25"
+
+    def test_ragged_series_padded(self):
+        csv = series_to_csv({"x": [1, 2, 3], "y": [9]})
+        lines = csv.splitlines()
+        assert lines[2] == "2,"
+
+    def test_empty(self):
+        assert series_to_csv({}) == ""
+
+
+class TestHarnessCli:
+    def test_list(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8" in out and "table2" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["figure99"]) == 2
+
+    def test_runs_table1(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "HP97560" in out
+        assert "256" in out

@@ -1,0 +1,58 @@
+import pytest
+
+from repro.disk.specs import HP97560, ST19101
+from repro.harness.runner import simulate_locate_free, simulate_track_fill
+from repro.models.compactor import average_latency_closed_form
+from repro.models.cylinder import cylinder_expected_latency
+
+
+class TestLocateFreeSimulation:
+    def test_matches_model_at_moderate_utilization(self):
+        """Figure 1's validation claim, as a test."""
+        for spec in (HP97560, ST19101):
+            for p in (0.3, 0.5):
+                model = cylinder_expected_latency(spec, p)
+                simulated = simulate_locate_free(spec, p, trials=250)
+                assert simulated == pytest.approx(
+                    model, rel=0.6, abs=2 * spec.sector_time
+                )
+
+    def test_latency_rises_with_utilization(self):
+        low = simulate_locate_free(ST19101, 0.8, trials=150)
+        high = simulate_locate_free(ST19101, 0.05, trials=150)
+        assert high > low
+
+    def test_seagate_much_faster_than_hp(self):
+        hp = simulate_locate_free(HP97560, 0.3, trials=150)
+        sg = simulate_locate_free(ST19101, 0.3, trials=150)
+        assert hp > 4 * sg
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            simulate_locate_free(ST19101, 0.0)
+
+
+class TestTrackFillSimulation:
+    def test_tracks_model_shape(self):
+        """Figure 2's validation: simulation tracks formula (13)."""
+        spec = ST19101
+        n = spec.sectors_per_track
+        for threshold in (0.1, 0.3, 0.6):
+            m = int(round(threshold * n))
+            model = average_latency_closed_form(
+                n, m, spec.head_switch_time, spec.sector_time
+            )
+            simulated = simulate_track_fill(spec, threshold, trials=30)
+            assert simulated == pytest.approx(model, rel=0.6)
+
+    def test_extremes_worse_than_middle(self):
+        spec = HP97560
+        frequent = simulate_track_fill(spec, 0.9, trials=20)
+        rare = simulate_track_fill(spec, 0.02, trials=20)
+        middle = simulate_track_fill(spec, 0.5, trials=20)
+        assert middle < frequent
+        assert middle < rare
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            simulate_track_fill(ST19101, 1.0)

@@ -1,0 +1,44 @@
+import pytest
+
+from repro.hosts.specs import HOSTS, SPARCSTATION_10, ULTRASPARC_170
+
+
+class TestHostSpecs:
+    def test_registry(self):
+        assert HOSTS["sparc10"] is SPARCSTATION_10
+        assert HOSTS["ultra170"] is ULTRASPARC_170
+
+    def test_clock_rates_match_paper(self):
+        assert SPARCSTATION_10.clock_mhz == 50.0
+        assert ULTRASPARC_170.clock_mhz == 167.0
+
+    def test_ultra_scales_inversely_with_clock(self):
+        ratio = 50.0 / 167.0
+        assert ULTRASPARC_170.syscall_overhead == pytest.approx(
+            SPARCSTATION_10.syscall_overhead * ratio
+        )
+        assert ULTRASPARC_170.per_block_overhead == pytest.approx(
+            SPARCSTATION_10.per_block_overhead * ratio
+        )
+
+    def test_request_overhead_composition(self):
+        spec = SPARCSTATION_10
+        assert spec.request_overhead(0) == pytest.approx(
+            spec.syscall_overhead + spec.interrupt_overhead
+        )
+        assert spec.request_overhead(3) == pytest.approx(
+            spec.syscall_overhead
+            + 3 * spec.per_block_overhead
+            + spec.interrupt_overhead
+        )
+
+    def test_negative_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            SPARCSTATION_10.request_overhead(-1)
+
+    def test_faster_host_means_less_other_time(self):
+        """Section 5.4: the host upgrade shrinks the 'other' component."""
+        assert (
+            ULTRASPARC_170.request_overhead(1)
+            < SPARCSTATION_10.request_overhead(1) / 3
+        )

@@ -1,0 +1,76 @@
+import pytest
+
+from repro.blockdev.regular import RegularDisk
+from repro.disk.disk import Disk
+from repro.disk.specs import ST19101
+from repro.lfs.checkpoint import CheckpointStore
+from repro.lfs.inode_map import InodeMap, SegmentUsage
+from repro.lfs.layout import LFSLayout
+
+
+@pytest.fixture
+def setup():
+    device = RegularDisk(Disk(ST19101))
+    layout = LFSLayout.design(device.num_blocks)
+    store = CheckpointStore(device, layout)
+    imap = InodeMap(layout.sb.max_inodes)
+    usage = SegmentUsage(layout.sb.num_segments, layout.segment_bytes)
+    return device, layout, store, imap, usage
+
+
+class TestCheckpointStore:
+    def test_write_read_roundtrip(self, setup):
+        _dev, layout, store, imap, usage = setup
+        imap.set(5, 1000, 3)
+        usage.note_write(2, 8192, now=1.5)
+        store.write(imap, usage, flush_seqno=7, now=2.0)
+        fresh_imap = InodeMap(layout.sb.max_inodes)
+        fresh_usage = SegmentUsage(
+            layout.sb.num_segments, layout.segment_bytes
+        )
+        header, _cost = store.read_latest(fresh_imap, fresh_usage)
+        assert header is not None
+        assert header.flush_seqno == 7
+        assert fresh_imap.get(5) == (1000, 3)
+        assert fresh_usage.live_bytes[2] == 8192
+
+    def test_blank_device_reads_none(self, setup):
+        _dev, layout, store, imap, usage = setup
+        header, _ = store.read_latest(imap, usage)
+        assert header is None
+
+    def test_slots_alternate_and_newest_wins(self, setup):
+        _dev, layout, store, imap, usage = setup
+        imap.set(1, 100, 0)
+        store.write(imap, usage, flush_seqno=1, now=1.0)
+        imap.set(1, 200, 1)
+        store.write(imap, usage, flush_seqno=2, now=2.0)
+        imap.set(1, 300, 2)
+        store.write(imap, usage, flush_seqno=3, now=3.0)  # overwrites slot 0
+        fresh = InodeMap(layout.sb.max_inodes)
+        header, _ = store.read_latest(
+            fresh, SegmentUsage(layout.sb.num_segments, layout.segment_bytes)
+        )
+        assert header.flush_seqno == 3
+        assert fresh.get(1) == (300, 2)
+
+    def test_corrupt_newest_falls_back_to_older(self, setup):
+        device, layout, store, imap, usage = setup
+        imap.set(1, 100, 0)
+        store.write(imap, usage, flush_seqno=1, now=1.0)
+        imap.set(1, 200, 1)
+        store.write(imap, usage, flush_seqno=2, now=2.0)
+        # Corrupt slot 1 (the newer one).
+        start = layout.checkpoint_slot_start(1)
+        device.write_block(start + 1, b"\xba\xad" * 2048)
+        fresh = InodeMap(layout.sb.max_inodes)
+        header, _ = store.read_latest(
+            fresh, SegmentUsage(layout.sb.num_segments, layout.segment_bytes)
+        )
+        assert header.flush_seqno == 1
+        assert fresh.get(1) == (100, 0)
+
+    def test_checkpoint_costs_device_time(self, setup):
+        device, _layout, store, imap, usage = setup
+        cost = store.write(imap, usage, flush_seqno=1, now=0.0)
+        assert cost.total > 0.0

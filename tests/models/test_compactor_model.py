@@ -1,0 +1,127 @@
+"""The compactor-assisted model (Section 2.3, formulas 5, 10-13)."""
+
+import math
+
+import pytest
+
+from repro.disk.specs import HP97560, ST19101
+from repro.models.compactor import (
+    average_latency_closed_form,
+    average_latency_exact,
+    nonrandomness_correction,
+    optimal_threshold,
+    total_skip_exact,
+)
+
+
+class TestExactSum:
+    def test_no_reserve_sums_all_terms(self):
+        n = 8
+        expected = sum((n - i) / (1 + i) for i in range(1, n + 1))
+        assert total_skip_exact(n, 0) == pytest.approx(expected)
+
+    def test_full_reserve_is_zero(self):
+        assert total_skip_exact(72, 72) == 0.0
+
+    def test_decreasing_in_reserve(self):
+        values = [total_skip_exact(72, m) for m in range(0, 72, 8)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            total_skip_exact(72, -1)
+        with pytest.raises(ValueError):
+            total_skip_exact(72, 73)
+
+
+class TestClosedFormVsExact:
+    def test_integral_approximation_close_without_correction(self):
+        """(n+1) ln((n+2)/(m+2)) - (n-m) approximates the sum (10)."""
+        for n in (72, 256):
+            for m in (4, n // 4, n // 2):
+                exact = total_skip_exact(n, m)
+                approx = (n + 1) * math.log((n + 2) / (m + 2)) - (n - m)
+                assert approx == pytest.approx(exact, rel=0.05, abs=0.5)
+
+    def test_closed_form_tracks_exact_latency(self):
+        for spec in (HP97560, ST19101):
+            n = spec.sectors_per_track
+            for m in (n // 8, n // 4, n // 2):
+                exact = average_latency_exact(
+                    n, m, spec.head_switch_time, spec.sector_time
+                )
+                closed = average_latency_closed_form(
+                    n, m, spec.head_switch_time, spec.sector_time
+                )
+                assert closed == pytest.approx(exact, rel=0.05)
+
+    def test_zero_writable_rejected(self):
+        with pytest.raises(ValueError):
+            average_latency_closed_form(72, 72, 1e-3, 1e-4)
+
+
+class TestCorrection:
+    def test_correction_non_negative(self):
+        for n in (72, 256):
+            for m in range(0, n, 16):
+                assert nonrandomness_correction(n, m) >= 0.0
+
+    def test_correction_vanishes_at_high_reserve(self):
+        # Barely-filled tracks stay random: tiny correction.
+        assert nonrandomness_correction(72, 70) < 0.01
+
+    def test_correction_grows_toward_full_fill(self):
+        low = nonrandomness_correction(256, 200)
+        high = nonrandomness_correction(256, 16)
+        assert high > low
+
+
+class TestFigure2Claims:
+    def test_u_shape(self):
+        """Figure 2: too-frequent and too-rare switching both lose."""
+        for spec in (HP97560, ST19101):
+            n = spec.sectors_per_track
+            latencies = [
+                average_latency_closed_form(
+                    n, m, spec.head_switch_time, spec.sector_time
+                )
+                for m in range(1, n)
+            ]
+            best = min(range(len(latencies)), key=latencies.__getitem__)
+            # interior optimum: neither switch-every-write nor never-switch
+            assert 0 < best < len(latencies) - 1
+
+    def test_optimal_threshold_is_moderate(self):
+        # Figure 2's minima sit at mid-range thresholds for both drives.
+        for spec in (HP97560, ST19101):
+            m, latency = optimal_threshold(spec)
+            n = spec.sectors_per_track
+            assert 0.2 < m / n < 0.85
+            assert latency > 0.0
+
+    def test_paper_75_percent_fill_choice_is_reasonable(self):
+        """Section 4.2 fills tracks to 75 % (25 % reserved) -- left of the
+        model's optimum (it trades a little write latency for less
+        compaction work), but within a small factor of it."""
+        for spec in (HP97560, ST19101):
+            n = spec.sectors_per_track
+            m_quarter = n // 4
+            at_quarter = average_latency_closed_form(
+                n, m_quarter, spec.head_switch_time, spec.sector_time
+            )
+            _, best = optimal_threshold(spec)
+            assert at_quarter <= 3.0 * best
+            # And it remains far better than an update-in-place
+            # half-rotation.
+            assert at_quarter < spec.rotation_time / 4
+
+    def test_compactor_regime_beats_greedy_at_high_utilization(self):
+        """Section 2.3's purpose: with a compactor the allocator avoids the
+        high-utilization blow-up of Figure 1."""
+        from repro.models.cylinder import cylinder_expected_latency
+
+        for spec in (HP97560, ST19101):
+            n = spec.sectors_per_track
+            m, with_compactor = optimal_threshold(spec)
+            greedy_at_90 = cylinder_expected_latency(spec, 0.1)
+            assert with_compactor < greedy_at_90

@@ -1,0 +1,81 @@
+"""The single-cylinder model (Section 2.2, formulas 2-4)."""
+
+import pytest
+
+from repro.disk.specs import HP97560, ST19101
+from repro.models.cylinder import (
+    cylinder_expected_latency,
+    cylinder_expected_skip_sectors,
+    single_track_latency,
+)
+from repro.models.single_track import expected_skip_sectors
+
+
+class TestModelStructure:
+    def test_single_track_cylinder_reduces_to_track_model(self):
+        # With t = 1, the geometric expectation E[x] = (1-p)/p should be
+        # close to the finite-track formula for large n.
+        n, p = 256, 0.3
+        value = cylinder_expected_skip_sectors(n, 1, p, 10.0)
+        assert value == pytest.approx((1 - p) / p, rel=0.02)
+
+    def test_other_tracks_only_help(self):
+        n, t, p, s = 72, 19, 0.1, 12.0
+        multi = cylinder_expected_skip_sectors(n, t, p, s)
+        single = cylinder_expected_skip_sectors(n, 1, p, s)
+        assert multi <= single + 1e-9
+
+    def test_expensive_switch_disables_other_tracks(self):
+        """With an enormous head-switch cost, min(x, y) is always x."""
+        n, t, p = 72, 19, 0.2
+        huge = cylinder_expected_skip_sectors(n, t, p, 10_000.0)
+        single = cylinder_expected_skip_sectors(n, 1, p, 0.0)
+        assert huge == pytest.approx(single, rel=1e-6)
+
+    def test_free_switch_takes_best_of_both(self):
+        n, t, p = 72, 4, 0.1
+        free = cylinder_expected_skip_sectors(n, t, p, 0.0)
+        single = cylinder_expected_skip_sectors(n, 1, p, 0.0)
+        assert free < single
+
+    def test_monotone_in_free_space(self):
+        values = [
+            cylinder_expected_skip_sectors(72, 19, p / 10, 12.0)
+            for p in range(1, 10)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cylinder_expected_skip_sectors(72, 19, 0.0, 12.0)
+        with pytest.raises(ValueError):
+            cylinder_expected_skip_sectors(72, 19, 0.5, -1.0)
+        with pytest.raises(ValueError):
+            cylinder_expected_skip_sectors(0, 19, 0.5, 1.0)
+
+
+class TestFigure1Claims:
+    def test_seagate_an_order_of_magnitude_better(self):
+        """Figure 1: 'latency has improved by nearly an order of magnitude
+        on the newer Seagate disk compared to the HP disk.'"""
+        for p in (0.2, 0.5, 0.8):
+            hp = cylinder_expected_latency(HP97560, p)
+            sg = cylinder_expected_latency(ST19101, p)
+            assert hp / sg > 5.0
+
+    def test_far_below_half_rotation(self):
+        """Section 2.1: eager writing beats the update-in-place
+        half-rotation floor (3 ms on the Seagate, 7 ms on the HP)."""
+        assert cylinder_expected_latency(ST19101, 0.2) < 3e-3 / 4
+        assert cylinder_expected_latency(HP97560, 0.2) < 7.5e-3 / 2
+
+    def test_sub_100us_at_80_percent_utilization(self):
+        """Section 2.1: ~4 sector delay at 80 % utilization translates to
+        'less than 100 microseconds' on a 1998 disk."""
+        assert cylinder_expected_latency(ST19101, 0.2) < 100e-6
+
+    def test_single_track_helper_consistent(self):
+        p = 0.4
+        assert single_track_latency(ST19101, p) == pytest.approx(
+            expected_skip_sectors(256, p) * ST19101.sector_time
+        )

@@ -1,0 +1,113 @@
+"""The single-track model: formulas (1)/(6), (8), (9) and their proofs."""
+
+import pytest
+
+from repro.models.single_track import (
+    expected_block_locate_sectors,
+    expected_skip_recurrence,
+    expected_skip_sectors,
+)
+
+
+class TestClosedForm:
+    def test_empty_track_never_skips(self):
+        assert expected_skip_sectors(72, 1.0) == pytest.approx(0.0)
+
+    def test_full_track_skips_everything(self):
+        # p = 0: (1 - 0) n / (1 + 0) = n.
+        assert expected_skip_sectors(72, 0.0) == pytest.approx(72.0)
+
+    def test_paper_headline_example(self):
+        """Section 2.1: at 80 % utilization (p = 0.2), about four sectors."""
+        skips = expected_skip_sectors(72, 0.2)
+        assert 3.0 < skips < 4.5
+
+    def test_roughly_occupied_over_free_ratio(self):
+        # The paper: "roughly the ratio between occupied and free sectors".
+        n, p = 256, 0.25
+        ratio = (1 - p) / p
+        assert expected_skip_sectors(n, p) == pytest.approx(ratio, rel=0.05)
+
+    def test_monotone_in_free_space(self):
+        values = [expected_skip_sectors(72, p / 100) for p in range(1, 100)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_skip_sectors(0, 0.5)
+        with pytest.raises(ValueError):
+            expected_skip_sectors(72, 1.5)
+
+
+class TestRecurrence:
+    def test_matches_closed_form_exactly(self):
+        """Appendix A.1: E(n, k) = (n - k) / (1 + k) solves recurrence (7)."""
+        for n in (8, 72, 256):
+            for k in (1, 2, n // 4, n // 2, n - 1, n):
+                closed = (n - k) / (1 + k)
+                assert expected_skip_recurrence(n, k) == pytest.approx(closed)
+
+    def test_matches_probability_formula(self):
+        # Substituting k = p*n recovers formula (1).
+        n, k = 100, 20
+        assert expected_skip_recurrence(n, k) == pytest.approx(
+            expected_skip_sectors(n, k / n)
+        )
+
+    def test_no_free_sector_rejected(self):
+        with pytest.raises(ValueError):
+            expected_skip_recurrence(72, 0)
+
+
+class TestBlockExtension:
+    def test_reduces_to_single_sector(self):
+        assert expected_block_locate_sectors(72, 0.5, 1, 1) == pytest.approx(
+            expected_skip_sectors(72, 0.5)
+        )
+
+    def test_matched_sizes_beat_sector_granularity(self):
+        """Formula (9)'s punchline: best when physical == logical --
+        the reason the VLD uses 4 KB physical blocks (Section 4.2)."""
+        n, p, logical = 256, 0.5, 8
+        matched = expected_block_locate_sectors(n, p, logical, logical)
+        sector_grain = expected_block_locate_sectors(n, p, logical, 1)
+        assert matched < sector_grain
+
+    def test_monotone_in_physical_block_size(self):
+        n, p, logical = 256, 0.3, 8
+        costs = [
+            expected_block_locate_sectors(n, p, logical, b)
+            for b in (1, 2, 4, 8)
+        ]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_physical_larger_than_logical_rejected(self):
+        with pytest.raises(ValueError):
+            expected_block_locate_sectors(72, 0.5, 4, 8)
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            expected_block_locate_sectors(72, 0.5, 8, 3)
+
+
+class TestAgainstMonteCarlo:
+    def test_expected_skips_match_random_tracks(self):
+        """Brute-force check of formula (8) against random bitmaps."""
+        import random
+
+        rng = random.Random(42)
+        n, k = 64, 16
+        trials = 4000
+        total = 0
+        for _ in range(trials):
+            track = [True] * k + [False] * (n - k)
+            rng.shuffle(track)
+            start = rng.randrange(n)
+            skips = 0
+            while not track[(start + skips) % n]:
+                skips += 1
+            total += skips
+        mean = total / trials
+        assert mean == pytest.approx(
+            expected_skip_recurrence(n, k), rel=0.08
+        )

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.25)
+    assert clock.now == pytest.approx(1.75)
+
+
+def test_advance_returns_new_time():
+    clock = SimClock()
+    assert clock.advance(2.0) == pytest.approx(2.0)
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_is_noop():
+    clock = SimClock(3.0)
+    clock.advance(0.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_future():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock(10.0)
+    clock.advance_to(5.0)
+    assert clock.now == 10.0
+
+
+def test_repr_mentions_time():
+    assert "1.5" in repr(SimClock(1.5))

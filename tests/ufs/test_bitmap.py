@@ -1,0 +1,112 @@
+import pytest
+
+from repro.ufs.bitmap import Bitmap
+
+
+class TestBasics:
+    def test_starts_all_free(self):
+        bitmap = Bitmap(100)
+        assert bitmap.free_count == 100
+        assert not bitmap.test(0)
+
+    def test_set_clear(self):
+        bitmap = Bitmap(10)
+        bitmap.set(3)
+        assert bitmap.test(3)
+        assert bitmap.free_count == 9
+        bitmap.clear(3)
+        assert not bitmap.test(3)
+        assert bitmap.free_count == 10
+
+    def test_idempotent(self):
+        bitmap = Bitmap(10)
+        bitmap.set(3)
+        bitmap.set(3)
+        assert bitmap.free_count == 9
+        bitmap.clear(3)
+        bitmap.clear(3)
+        assert bitmap.free_count == 10
+
+    def test_bounds(self):
+        bitmap = Bitmap(10)
+        with pytest.raises(IndexError):
+            bitmap.test(10)
+        with pytest.raises(IndexError):
+            bitmap.set(-1)
+
+    def test_pack_load_roundtrip(self):
+        bitmap = Bitmap(77)
+        for i in (0, 13, 76):
+            bitmap.set(i)
+        reloaded = Bitmap(77, bitmap.pack())
+        assert reloaded.free_count == 74
+        for i in (0, 13, 76):
+            assert reloaded.test(i)
+
+
+class TestFindFree:
+    def test_finds_from_goal(self):
+        bitmap = Bitmap(16)
+        bitmap.set(5)
+        assert bitmap.find_free(5) == 6
+
+    def test_wraps(self):
+        bitmap = Bitmap(8)
+        for i in range(4, 8):
+            bitmap.set(i)
+        assert bitmap.find_free(6) == 0
+
+    def test_full_returns_none(self):
+        bitmap = Bitmap(4)
+        for i in range(4):
+            bitmap.set(i)
+        assert bitmap.find_free() is None
+
+
+class TestFindFreeRun:
+    def test_aligned_run(self):
+        bitmap = Bitmap(32)
+        bitmap.set(0)  # blocks run at 0
+        assert bitmap.find_free_run(4, align=4) == 4
+
+    def test_run_needs_contiguity(self):
+        bitmap = Bitmap(16)
+        bitmap.set(2)
+        bitmap.set(6)
+        bitmap.set(10)
+        bitmap.set(14)
+        assert bitmap.find_free_run(4, align=4) is None
+        assert bitmap.find_free_run(2, align=1) is not None
+
+    def test_goal_rounds_to_alignment(self):
+        bitmap = Bitmap(32)
+        assert bitmap.find_free_run(4, align=4, goal=5) == 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Bitmap(8).find_free_run(0)
+
+
+class TestFragRun:
+    def test_prefers_partially_used_blocks(self):
+        """Classic FFS: keep fragments together so whole blocks survive."""
+        bitmap = Bitmap(16)  # 4 blocks x 4 frags
+        bitmap.set(4)  # block 1 partially used
+        assert bitmap.find_frag_run(2, 4) in (5, 6)
+
+    def test_falls_back_to_fresh_block(self):
+        bitmap = Bitmap(16)
+        assert bitmap.find_frag_run(3, 4) == 0
+
+    def test_never_spans_blocks(self):
+        bitmap = Bitmap(8)  # 2 blocks x 4 frags
+        # Block 0: frags 0,1 used; block 1: frags 6,7 used.
+        for i in (0, 1, 6, 7):
+            bitmap.set(i)
+        # A 3-frag run exists only spanning 3..5, which crosses blocks.
+        assert bitmap.find_frag_run(3, 4) is None
+        assert bitmap.find_frag_run(2, 4) in (2, 4)
+
+    def test_run_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            Bitmap(16).find_frag_run(5, 4)

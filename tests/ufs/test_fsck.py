@@ -1,0 +1,133 @@
+"""fsck: clean file systems pass; injected corruption is caught."""
+
+import random
+
+import pytest
+
+from repro.sim.stats import Breakdown
+from repro.ufs.fsck import fsck
+
+
+def populate(fs, seed=1, files=30):
+    rng = random.Random(seed)
+    fs.mkdir("/dir")
+    fs.mkdir("/dir/sub")
+    for i in range(files):
+        parent = rng.choice(["", "/dir", "/dir/sub"])
+        name = f"{parent}/f{i:03d}"
+        fs.create(name)
+        fs.write(name, 0, bytes([i % 251]) * rng.randrange(100, 20000))
+    # One big file with indirect blocks.
+    fs.create("/big")
+    fs.write("/big", 0, bytes(4096) * 300)
+    fs.sync()
+
+
+class TestCleanFilesystems:
+    def test_fresh_fs_is_clean(self, ufs):
+        report = fsck(ufs)
+        assert report.ok, report.errors
+        assert report.inodes_checked == 1  # just the root
+
+    def test_populated_fs_is_clean(self, ufs):
+        populate(ufs)
+        report = fsck(ufs)
+        assert report.ok, report.errors
+        assert report.files == 31
+        assert report.directories == 3  # root + 2
+        assert report.blocks_claimed > 300
+
+    def test_clean_after_churn(self, ufs):
+        populate(ufs)
+        rng = random.Random(2)
+        names = [f"/dir/f{i:03d}" for i in range(60, 80)]
+        for name in names:
+            ufs.create(name)
+            ufs.write(name, 0, bytes(2000))
+        for name in rng.sample(names, 10):
+            ufs.unlink(name)
+        ufs.write("/big", 100 * 4096, bytes(4096) * 50)  # grow
+        ufs.sync()
+        report = fsck(ufs)
+        assert report.ok, report.errors
+
+    def test_clean_on_vld(self, ufs_vld):
+        populate(ufs_vld, files=15)
+        report = fsck(ufs_vld)
+        assert report.ok, report.errors
+
+    def test_summary_readable(self, ufs):
+        populate(ufs, files=3)
+        text = fsck(ufs).summary()
+        assert "clean" in text
+        assert "inodes" in text
+
+
+class TestCorruptionDetection:
+    def test_orphan_inode(self, ufs):
+        populate(ufs, files=5)
+        # Allocate an inode behind the file system's back.
+        ufs.alloc.groups[0].inodes.set(50)
+        from repro.fs.inode import FileType, Inode
+
+        ufs._write_inode(
+            50, Inode(itype=FileType.REGULAR, nlink=1), sync=False,
+            breakdown=Breakdown(),
+        )
+        report = fsck(ufs)
+        assert any("orphan" in e for e in report.errors)
+
+    def test_entry_to_unallocated_inode(self, ufs):
+        populate(ufs, files=5)
+        inum = ufs.stat("/f000").inum
+        ufs.alloc.free_inode(inum)  # bitmap says free; entry remains
+        report = fsck(ufs)
+        assert any("unallocated inode" in e for e in report.errors)
+
+    def test_double_claimed_block(self, ufs):
+        populate(ufs, files=5)
+        a = ufs.stat("/big").inum
+        b = ufs.stat("/f001").inum
+        inode_a = ufs._read_inode(a, Breakdown())
+        inode_b = ufs._read_inode(b, Breakdown())
+        # Point b's first block at a's first block.
+        inode_b.direct[0] = inode_a.direct[0]
+        inode_b.size = 4096 * 2  # force full-block layout
+        ufs._write_inode(b, inode_b, sync=False, breakdown=Breakdown())
+        report = fsck(ufs)
+        assert any("claimed by both" in e for e in report.errors)
+
+    def test_leaked_fragments(self, ufs):
+        populate(ufs, files=5)
+        ufs.alloc.alloc_frags(2, goal_lba=0)  # allocate and forget
+        report = fsck(ufs)
+        assert any("leak" in e for e in report.errors)
+
+    def test_block_marked_free_while_in_use(self, ufs):
+        populate(ufs, files=5)
+        inum = ufs.stat("/big").inum
+        inode = ufs._read_inode(inum, Breakdown())
+        ufs.alloc.free_block(inode.direct[0])
+        report = fsck(ufs)
+        assert any("free in the bitmap" in e for e in report.errors)
+
+    def test_free_inode_with_dir_entry_and_bitmap_set(self, ufs):
+        populate(ufs, files=5)
+        inum = ufs.stat("/f002").inum
+        from repro.fs.inode import Inode
+
+        ufs._write_inode(inum, Inode(), sync=False, breakdown=Breakdown())
+        report = fsck(ufs)
+        assert any("marked free" in e for e in report.errors)
+
+    def test_bad_tail_fragment_count(self, ufs):
+        ufs.create("/small")
+        ufs.write("/small", 0, b"x" * 1024)
+        ufs.sync()
+        inum = ufs.stat("/small").inum
+        inode = ufs._read_inode(inum, Breakdown())
+        addr, _count = inode.tail_frags()
+        inode.set_tail_frags(addr, 3)  # size implies 1
+        ufs._write_inode(inum, inode, sync=False, breakdown=Breakdown())
+        report = fsck(ufs)
+        assert any("tail has 3 frags" in e for e in report.errors)

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.ufs.layout import FRAG_SIZE, Superblock, UFSLayout
+
+
+@pytest.fixture
+def layout():
+    return UFSLayout.design(total_blocks=5632, blocks_per_group=512)
+
+
+class TestDesign:
+    def test_paper_configuration(self, layout):
+        assert layout.block_size == 4096
+        assert layout.frag_size == FRAG_SIZE == 1024
+        assert layout.frags_per_block == 4
+
+    def test_group_count(self, layout):
+        assert layout.sb.num_groups == (5632 - 1) // 512
+
+    def test_inode_sizing(self, layout):
+        assert layout.sb.inodes_per_group % layout.inodes_per_block == 0
+        assert layout.total_inodes >= 1500  # the Figure 6 workload fits
+
+    def test_metadata_fits(self, layout):
+        assert layout.meta_blocks_per_group < layout.sb.blocks_per_group
+
+    def test_tiny_device_rejected(self):
+        with pytest.raises(ValueError):
+            UFSLayout.design(total_blocks=4)
+
+
+class TestAddressing:
+    def test_group_start_sequence(self, layout):
+        assert layout.group_start(0) == 1
+        assert layout.group_start(1) == 1 + 512
+
+    def test_region_order(self, layout):
+        g = 2
+        assert layout.bitmap_block(g) == layout.group_start(g)
+        assert layout.itable_start(g) == layout.group_start(g) + 1
+        assert layout.data_start(g) == (
+            layout.group_start(g) + 1 + layout.itable_blocks
+        )
+
+    def test_group_of_block(self, layout):
+        assert layout.group_of_block(1) == 0
+        assert layout.group_of_block(512) == 0
+        assert layout.group_of_block(513) == 1
+
+    def test_superblock_has_no_group(self, layout):
+        with pytest.raises(ValueError):
+            layout.group_of_block(0)
+
+    def test_inode_position_roundtrip(self, layout):
+        for inum in (1, 31, 32, 100, layout.total_inodes - 1):
+            block, offset = layout.inode_position(inum)
+            group = layout.group_of_inum(inum)
+            assert layout.itable_start(group) <= block < layout.data_start(group)
+            assert offset % 128 == 0
+
+    def test_inode_zero_invalid(self, layout):
+        with pytest.raises(ValueError):
+            layout.inode_position(0)
+
+    def test_frag_block_roundtrip(self, layout):
+        frag = 4 * 1000 + 3
+        lba, offset = layout.frag_to_block(frag)
+        assert lba == 1000
+        assert offset == 3 * 1024
+        assert layout.block_to_frag(lba) + 3 == frag
+
+    def test_bitmap_layout_fits_one_block(self, layout):
+        offsets = layout.bitmap_layout()
+        assert offsets[2] <= layout.block_size
+
+
+class TestSuperblockSerialisation:
+    def test_roundtrip(self, layout):
+        raw = layout.sb.pack()
+        assert len(raw) == 4096
+        parsed = Superblock.unpack(raw)
+        assert parsed == layout.sb
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            Superblock.unpack(b"\x00" * 4096)

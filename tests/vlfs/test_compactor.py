@@ -1,0 +1,92 @@
+"""The VLFS idle-time compactor ("only an optimization", Section 3.4)."""
+
+import random
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.specs import ST19101
+from repro.hosts.specs import SPARCSTATION_10
+from repro.vlfs.vlfs import VLFS
+
+_MB = 1 << 20
+
+
+@pytest.fixture
+def fs():
+    return VLFS(Disk(ST19101), SPARCSTATION_10)
+
+
+def churn(fs, file_mb=10, updates=700, seed=3):
+    rng = random.Random(seed)
+    fs.create("/t")
+    blob = bytes(4096) * 256
+    contents = {}
+    for chunk in range(file_mb):
+        fs.write("/t", chunk * len(blob), blob)
+    fs.sync()
+    for i in range(updates):
+        offset = rng.randrange(file_mb * 256) * 4096
+        payload = bytes([i % 251]) * 4096
+        fs.write("/t", offset, payload, sync=True)
+        contents[offset] = payload
+    return contents
+
+
+class TestVlfsCompactor:
+    def test_creates_empty_tracks(self, fs):
+        churn(fs)
+        geometry = fs.disk.geometry
+        per_track = geometry.sectors_per_track
+
+        def empty_tracks():
+            return sum(
+                1
+                for cylinder in range(geometry.num_cylinders)
+                for head in range(geometry.tracks_per_cylinder)
+                if fs.freemap.track_free_count(cylinder, head) == per_track
+            )
+
+        before = empty_tracks()
+        fs.compactor.run_for(3.0)
+        assert fs.compactor.blocks_moved > 0
+        assert empty_tracks() >= before
+
+    def test_preserves_contents(self, fs):
+        contents = churn(fs, updates=500)
+        fs.compactor.run_for(3.0)
+        for offset, payload in contents.items():
+            data, _ = fs.read("/t", offset, 4096)
+            assert data == payload, f"offset {offset}"
+
+    def test_survives_recovery_after_compaction(self, fs):
+        contents = churn(fs, updates=400)
+        fs.compactor.run_for(2.0)
+        fs.power_down()
+        fs.crash()
+        fs.recover()
+        fs.vlog.check_invariants()
+        for offset, payload in list(contents.items())[:100]:
+            data, _ = fs.read("/t", offset, 4096)
+            assert data == payload
+
+    def test_runs_from_idle_hook(self, fs):
+        churn(fs, updates=400)
+        start = fs.clock.now
+        fs.idle(1.0)
+        assert fs.clock.now >= start + 1.0
+        assert fs.compactor.blocks_moved > 0
+
+    def test_budget_respected(self, fs):
+        churn(fs, updates=300)
+        used = fs.compactor.run_for(0.05)
+        assert used <= 0.05 + 0.3
+
+    def test_negative_budget_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.compactor.run_for(-1.0)
+
+    def test_noop_on_empty_fs(self, fs):
+        used = fs.compactor.run_for(0.5)
+        assert fs.compactor.blocks_moved == 0
+        assert used <= 0.5

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.vlog.entries import MapRecord, UNMAPPED, entries_per_chunk
+
+
+class TestCapacity:
+    def test_4k_block_capacity(self):
+        cap = entries_per_chunk(4096)
+        assert cap % 8 == 0
+        assert 900 <= cap <= 1012  # header + CRC leave ~1008 entries
+
+    def test_too_small_block_rejected(self):
+        with pytest.raises(ValueError):
+            entries_per_chunk(48)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        record = MapRecord(
+            chunk_id=3,
+            seqno=42,
+            entries=[1, 2, UNMAPPED, 99],
+            prev_root=17,
+            bypass1=None,
+            bypass2=5,
+        )
+        raw = record.pack(4096)
+        assert len(raw) == 4096
+        parsed = MapRecord.unpack(raw)
+        assert parsed == record
+
+    def test_none_pointers_roundtrip(self):
+        record = MapRecord(chunk_id=0, seqno=1, entries=[])
+        parsed = MapRecord.unpack(record.pack(4096))
+        assert parsed.prev_root is None
+        assert parsed.bypass1 is None
+        assert parsed.bypass2 is None
+
+    def test_pointers_helper_filters_none(self):
+        record = MapRecord(
+            chunk_id=0, seqno=1, entries=[], prev_root=9, bypass2=4
+        )
+        assert record.pointers() == [9, 4]
+
+    def test_full_capacity_roundtrip(self):
+        cap = entries_per_chunk(4096)
+        record = MapRecord(chunk_id=1, seqno=2, entries=list(range(cap)))
+        parsed = MapRecord.unpack(record.pack(4096))
+        assert parsed.entries == list(range(cap))
+
+    def test_over_capacity_rejected(self):
+        cap = entries_per_chunk(4096)
+        record = MapRecord(chunk_id=1, seqno=2, entries=[0] * (cap + 1))
+        with pytest.raises(ValueError):
+            record.pack(4096)
+
+
+class TestValidation:
+    """The CRC/magic validation is what lets recovery prune edges into
+    recycled blocks and lets the scan fallback find records at all."""
+
+    def test_garbage_rejected(self):
+        assert MapRecord.unpack(b"\xde\xad" * 2048) is None
+
+    def test_zeros_rejected(self):
+        assert MapRecord.unpack(bytes(4096)) is None
+
+    def test_short_buffer_rejected(self):
+        assert MapRecord.unpack(b"tiny") is None
+
+    def test_single_flipped_bit_rejected(self):
+        raw = bytearray(
+            MapRecord(chunk_id=1, seqno=7, entries=[4, 5]).pack(4096)
+        )
+        raw[100] ^= 0x01
+        assert MapRecord.unpack(bytes(raw)) is None
+
+    def test_wrong_magic_rejected(self):
+        raw = bytearray(MapRecord(chunk_id=1, seqno=7).pack(4096))
+        raw[0:8] = b"NOTAMAGI"
+        assert MapRecord.unpack(bytes(raw)) is None
+
+    def test_data_block_never_parses(self):
+        # Typical file payloads must not masquerade as map records.
+        for fill in (b"x", b"\x00", b"\xff", b"ab"):
+            block = (fill * 4096)[:4096]
+            assert MapRecord.unpack(block) is None

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.vlog.imap import IndirectionMap
+
+
+@pytest.fixture
+def imap():
+    return IndirectionMap(2500, block_size=4096)
+
+
+class TestMapping:
+    def test_starts_unmapped(self, imap):
+        assert imap.get(0) is None
+        assert imap.mapped_count() == 0
+
+    def test_set_get(self, imap):
+        assert imap.set(5, 123) is None
+        assert imap.get(5) == 123
+
+    def test_set_returns_displaced(self, imap):
+        imap.set(5, 123)
+        assert imap.set(5, 456) == 123
+        assert imap.get(5) == 456
+
+    def test_clear(self, imap):
+        imap.set(7, 99)
+        assert imap.clear(7) == 99
+        assert imap.get(7) is None
+        assert imap.clear(7) is None
+
+    def test_bounds(self, imap):
+        with pytest.raises(ValueError):
+            imap.get(2500)
+        with pytest.raises(ValueError):
+            imap.set(-1, 0)
+
+    def test_unencodable_physical_rejected(self, imap):
+        with pytest.raises(ValueError):
+            imap.set(0, 0xFFFFFFFF)
+
+    def test_items_iterates_mapped_only(self, imap):
+        imap.set(1, 10)
+        imap.set(100, 20)
+        assert sorted(imap.items()) == [(1, 10), (100, 20)]
+
+
+class TestChunking:
+    def test_chunk_count(self, imap):
+        assert imap.num_chunks == -(-2500 // imap.chunk_capacity)
+
+    def test_chunk_id_of(self, imap):
+        cap = imap.chunk_capacity
+        assert imap.chunk_id_of(0) == 0
+        assert imap.chunk_id_of(cap - 1) == 0
+        assert imap.chunk_id_of(cap) == 1
+
+    def test_chunk_entries_length(self, imap):
+        cap = imap.chunk_capacity
+        assert len(imap.chunk_entries(0)) == cap
+        # Last chunk may be short.
+        last = imap.num_chunks - 1
+        assert len(imap.chunk_entries(last)) == 2500 - last * cap
+
+    def test_load_chunk_roundtrip(self, imap):
+        imap.set(3, 42)
+        entries = imap.chunk_entries(0)
+        imap.clear(3)
+        imap.load_chunk(0, entries)
+        assert imap.get(3) == 42
+
+    def test_load_chunk_length_validated(self, imap):
+        with pytest.raises(ValueError):
+            imap.load_chunk(0, [1, 2, 3])
+
+    def test_load_chunks_resets_missing(self, imap):
+        cap = imap.chunk_capacity
+        imap.set(3, 42)
+        imap.set(cap + 1, 43)
+        chunk0 = imap.chunk_entries(0)
+        imap.load_chunks({0: chunk0})
+        assert imap.get(3) == 42
+        assert imap.get(cap + 1) is None

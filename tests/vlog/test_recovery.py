@@ -1,0 +1,98 @@
+"""Power-down record and scan-fallback recovery (Section 3.2)."""
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.specs import ST19101
+from repro.vlog.recovery import PowerDownStore, scan_for_tail
+from repro.vlog.entries import MapRecord
+
+
+@pytest.fixture
+def disk():
+    return Disk(ST19101, num_cylinders=2)
+
+
+@pytest.fixture
+def store(disk):
+    return PowerDownStore(disk, block=0, block_size=4096)
+
+
+class TestPowerDownStore:
+    def test_write_read_roundtrip(self, store):
+        store.write(tail_block=123, seqno=77)
+        record, _cost = store.read()
+        assert record == (123, 77)
+
+    def test_untimed_mode_does_not_advance_clock(self, store, disk):
+        before = disk.clock.now
+        store.write(5, 1, timed=False)
+        record, _ = store.read(timed=False)
+        assert record == (5, 1)
+        assert disk.clock.now == before
+
+    def test_blank_disk_reads_none(self, store):
+        record, _ = store.read(timed=False)
+        assert record is None
+
+    def test_clear_erases(self, store):
+        store.write(9, 2, timed=False)
+        store.clear(timed=False)
+        record, _ = store.read(timed=False)
+        assert record is None
+
+    def test_corrupt_record_detected_by_checksum(self, store):
+        """The 'extremely rare case when this power down sequence fails'
+        must be detected, not trusted."""
+        store.write(9, 2, timed=False)
+        store.corrupt()
+        record, _ = store.read(timed=False)
+        assert record is None
+
+    def test_bitflip_detected(self, store, disk):
+        store.write(1000, 50, timed=False)
+        raw = bytearray(disk.peek(store._sector, store.sectors_per_block))
+        raw[9] ^= 0x40  # flip a bit inside the tail field
+        disk.poke(store._sector, bytes(raw))
+        record, _ = store.read(timed=False)
+        assert record is None
+
+
+class TestScanFallback:
+    def _plant(self, disk, block, chunk_id, seqno):
+        record = MapRecord(chunk_id=chunk_id, seqno=seqno, entries=[seqno])
+        disk.poke(block * 8, record.pack(4096))
+
+    def test_finds_youngest_record(self, disk):
+        self._plant(disk, 10, 0, 5)
+        self._plant(disk, 200, 1, 9)
+        self._plant(disk, 400, 0, 7)
+        tail, _cost, examined = scan_for_tail(disk, timed=False)
+        assert tail == 200
+        assert examined == disk.total_sectors // 8
+
+    def test_empty_disk_finds_nothing(self, disk):
+        tail, _cost, _n = scan_for_tail(disk, timed=False)
+        assert tail is None
+
+    def test_skip_block_excluded(self, disk):
+        self._plant(disk, 0, 0, 99)
+        tail, _, _ = scan_for_tail(disk, skip_block=0, timed=False)
+        assert tail is None
+
+    def test_data_blocks_ignored(self, disk):
+        disk.poke(80, b"Z" * 4096)
+        self._plant(disk, 50, 0, 3)
+        tail, _, _ = scan_for_tail(disk, timed=False)
+        assert tail == 50
+
+    def test_timed_scan_costs_whole_disk_reads(self, disk):
+        """The scan is the slow path: it must cost on the order of reading
+        every track once (why the power-down record matters)."""
+        self._plant(disk, 3, 0, 1)
+        _tail, cost, _n = scan_for_tail(disk, timed=True)
+        tracks = disk.geometry.num_cylinders * disk.geometry.tracks_per_cylinder
+        min_transfer = tracks * disk.geometry.sectors_per_track * (
+            disk.mechanics.sector_time
+        )
+        assert cost.total >= min_transfer * 0.9

@@ -1,0 +1,177 @@
+"""The tree-structured virtual log: append, overwrite, recycle, recover."""
+
+import random
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.freemap import FreeSpaceMap
+from repro.disk.specs import ST19101
+from repro.vlog.allocator import AllocationPolicy, EagerAllocator
+from repro.vlog.virtual_log import VirtualLog
+
+
+class Harness:
+    """A virtual log over a small disk with a dict of chunk contents."""
+
+    def __init__(self, seed=0):
+        self.disk = Disk(ST19101, num_cylinders=3)
+        self.freemap = FreeSpaceMap(self.disk.geometry)
+        self.allocator = EagerAllocator(
+            self.disk, self.freemap, 8, AllocationPolicy.NEAREST
+        )
+        self.chunks = {}
+        self.vlog = VirtualLog(
+            self.disk, self.allocator, lambda c: self.chunks[c], 4096
+        )
+        self.rng = random.Random(seed)
+
+    def write_chunk(self, chunk_id, entries):
+        self.chunks[chunk_id] = list(entries)
+        return self.vlog.append(chunk_id, self.chunks[chunk_id])
+
+
+@pytest.fixture
+def h():
+    return Harness()
+
+
+class TestAppend:
+    def test_first_append_sets_tail(self, h):
+        h.write_chunk(0, [1, 2, 3])
+        assert h.vlog.tail is not None
+        assert h.vlog.location_of(0) == h.vlog.tail
+
+    def test_appends_chain_backwards(self, h):
+        h.write_chunk(0, [1])
+        first_tail = h.vlog.tail
+        h.write_chunk(1, [2])
+        assert h.vlog.tail != first_tail
+        h.vlog.check_invariants()
+
+    def test_overwrite_recycles_old_block(self, h):
+        h.write_chunk(0, [1])
+        old = h.vlog.location_of(0)
+        h.write_chunk(0, [2])
+        assert h.vlog.location_of(0) != old
+        assert h.freemap.run_is_free(old * 8, 8)
+
+    def test_one_io_per_overwrite(self, h):
+        """Section 3.2: 'overwriting a map entry requires only one disk
+        I/O to create the new log tail' (absent orphan overflow)."""
+        h.write_chunk(0, [1])
+        h.write_chunk(1, [1])
+        writes_before = h.disk.writes
+        h.write_chunk(0, [2])
+        assert h.disk.writes == writes_before + 1
+
+    def test_relocate_moves_record(self, h):
+        h.write_chunk(0, [5])
+        old = h.vlog.location_of(0)
+        h.vlog.relocate(0)
+        assert h.vlog.location_of(0) != old
+        h.vlog.check_invariants()
+
+    def test_relocate_unknown_chunk_rejected(self, h):
+        with pytest.raises(KeyError):
+            h.vlog.relocate(42)
+
+    def test_live_blocks_tracks_current_records(self, h):
+        for chunk in range(5):
+            h.write_chunk(chunk, [chunk])
+        assert len(h.vlog.live_blocks()) == 5
+        assert h.vlog.chunk_of_block(h.vlog.location_of(3)) == 3
+        assert h.vlog.chunk_of_block(999999 % h.disk.total_sectors) in (
+            None,
+            *range(5),
+        )
+
+
+class TestInvariants:
+    def test_random_workload_preserves_invariants(self, h):
+        for step in range(400):
+            chunk = h.rng.randrange(8)
+            h.write_chunk(chunk, [h.rng.randrange(1000)])
+            if step % 25 == 0:
+                h.vlog.check_invariants()
+        h.vlog.check_invariants()
+
+    def test_block_reuse_does_not_resurrect_edges(self, h):
+        """A freed record block recycled for a new record must not inherit
+        stale in-edges (the bug class the in-edge purge exists for)."""
+        for step in range(200):
+            h.write_chunk(step % 3, [step])
+        h.vlog.check_invariants()
+        # Every chunk's location is distinct and live.
+        locations = [h.vlog.location_of(c) for c in range(3)]
+        assert len(set(locations)) == 3
+
+
+class TestRecovery:
+    def test_recovers_latest_chunk_contents(self, h):
+        for step in range(60):
+            h.write_chunk(step % 4, [step, step + 1])
+        expected = {c: list(h.chunks[c]) for c in range(4)}
+        tail = h.vlog.tail
+        chunks, _cost, _n = h.vlog.recover_from_tail(tail, timed=False)
+        assert chunks == expected
+
+    def test_recovery_rebuilds_operational_state(self, h):
+        for step in range(30):
+            h.write_chunk(step % 3, [step])
+        tail = h.vlog.tail
+        h.vlog.recover_from_tail(tail, timed=False)
+        h.vlog.check_invariants()
+        # The log keeps working after recovery.
+        h.write_chunk(1, [999])
+        h.vlog.check_invariants()
+        chunks, _, _ = h.vlog.recover_from_tail(h.vlog.tail, timed=False)
+        assert chunks[1] == [999]
+
+    def test_recovery_ignores_stale_versions(self, h):
+        h.write_chunk(0, [1])
+        h.write_chunk(1, [2])
+        h.write_chunk(0, [3])  # supersedes [1]
+        chunks, _, _ = h.vlog.recover_from_tail(h.vlog.tail, timed=False)
+        assert chunks[0] == [3]
+
+    def test_recovery_prunes_recycled_blocks(self, h):
+        """Pointers into blocks recycled for *data* must be pruned by
+        checksum validation."""
+        for step in range(40):
+            h.write_chunk(step % 4, [step])
+        # Smash every free block with garbage, as reuse for data would.
+        for block in range(h.disk.total_sectors // 8):
+            if h.freemap.run_is_free(block * 8, 8):
+                h.disk.poke(block * 8, b"\xcd" * 4096)
+        chunks, _, _ = h.vlog.recover_from_tail(h.vlog.tail, timed=False)
+        assert chunks == {c: list(h.chunks[c]) for c in range(4)}
+
+    def test_recovery_from_non_record_block_fails(self, h):
+        h.write_chunk(0, [1])
+        free_block = next(
+            b
+            for b in range(h.disk.total_sectors // 8)
+            if h.freemap.run_is_free(b * 8, 8)
+        )
+        with pytest.raises(ValueError):
+            h.vlog.recover_from_tail(free_block, timed=False)
+
+    def test_timed_recovery_charges_disk_time(self, h):
+        for step in range(20):
+            h.write_chunk(step % 2, [step])
+        before = h.disk.clock.now
+        _, cost, records = h.vlog.recover_from_tail(h.vlog.tail, timed=True)
+        assert records >= 2
+        assert cost.total > 0.0
+        assert h.disk.clock.now > before
+
+    def test_recovery_reads_bounded_by_live_records(self, h):
+        """Recovery must not scan the disk: reads scale with live records
+        (plus pruned stale edges), not device size."""
+        for step in range(100):
+            h.write_chunk(step % 5, [step])
+        reads_before = h.disk.reads
+        h.vlog.recover_from_tail(h.vlog.tail, timed=True)
+        reads = h.disk.reads - reads_before
+        assert reads < 40  # 5 live + pruned frontier, not ~1500 blocks
