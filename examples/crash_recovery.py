@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Crash and recovery walk-through for every stack in the reproduction.
 
-Exercises the three recovery stories the paper tells:
+Exercises the four recovery stories the paper tells:
 
 * the Virtual Log Disk's tail-record recovery and its scan fallback
   (Section 3.2), with fault injection on the power-down record;
+* a power loss injected *mid-write*, below the VLD, in the middle of its
+  internal data-write / map-append sequence -- the atomicity claim;
 * LFS checkpoint + roll-forward recovery;
 * LFS with NVRAM, whose buffer survives the crash.
 
@@ -13,16 +15,15 @@ Run:  python examples/crash_recovery.py
 
 import random
 
-from repro.blockdev import RegularDisk
+from repro.blockdev import DeviceCrashed, DiskFaultInjector, build_device_stack
 from repro.disk import Disk, ST19101
 from repro.hosts import SPARCSTATION_10
 from repro.lfs import LFS
-from repro.vlog import VirtualLogDisk
 
 
 def vld_story() -> None:
     print("== Virtual Log Disk ==")
-    vld = VirtualLogDisk(Disk(ST19101))
+    vld = build_device_stack(Disk(ST19101), "vld")
     rng = random.Random(1)
     expected = {}
     for _ in range(400):
@@ -55,10 +56,48 @@ def vld_story() -> None:
     print()
 
 
+def midwrite_story() -> None:
+    print("== Power loss mid-write (injected below the VLD) ==")
+    disk = Disk(ST19101)
+    vld = build_device_stack(disk, "vld")
+    rng = random.Random(2)
+    acknowledged = {}
+    for _ in range(200):
+        lba = rng.randrange(vld.num_blocks)
+        payload = bytes([rng.randrange(256)]) * 4096
+        vld.write_block(lba, payload)
+        acknowledged[lba] = payload
+
+    # Kill the drive on its 3rd physical write from now: inside the next
+    # logical write's internal data-write / map-append sequence, with the
+    # fatal write itself torn at sector granularity.
+    injector = DiskFaultInjector(crash_after_writes=3, torn=True)
+    injector.install(disk)
+    try:
+        while True:
+            lba = rng.randrange(vld.num_blocks)
+            payload = bytes([rng.randrange(256)]) * 4096
+            vld.write_block(lba, payload)
+            acknowledged[lba] = payload  # only reached if acknowledged
+    except DeviceCrashed as crash:
+        print(f"  {crash}")
+    injector.uninstall(disk)
+
+    vld.crash()
+    outcome = vld.recover()
+    ok = all(vld.read_block(l)[0] == p for l, p in acknowledged.items())
+    print(
+        f"  recovery by {'scan' if outcome.scanned else 'tail record'}: "
+        f"every acknowledged write readable, the interrupted one invisible "
+        f"(consistent: {ok})"
+    )
+    print()
+
+
 def lfs_story(nvram: bool) -> None:
     label = "LFS with NVRAM buffer" if nvram else "LFS (volatile buffer)"
     print(f"== {label} ==")
-    fs = LFS(RegularDisk(Disk(ST19101)), SPARCSTATION_10, nvram=nvram)
+    fs = LFS(build_device_stack(Disk(ST19101)), SPARCSTATION_10, nvram=nvram)
     fs.mkdir("/mail")
     fs.create("/mail/inbox")
     fs.write("/mail/inbox", 0, b"message one\n")
@@ -95,6 +134,7 @@ def lfs_story(nvram: bool) -> None:
 
 def main() -> None:
     vld_story()
+    midwrite_story()
     lfs_story(nvram=False)
     lfs_story(nvram=True)
 

@@ -13,12 +13,11 @@ Run:  python examples/database_commit.py
 
 import random
 
-from repro.blockdev import RegularDisk
+from repro.blockdev import build_device_stack
 from repro.disk import Disk, ST19101
 from repro.hosts import SPARCSTATION_10
 from repro.sim.stats import LatencyRecorder
 from repro.ufs import UFS
-from repro.vlog import VirtualLogDisk
 
 _MB = 1 << 20
 PAGE = 4096
@@ -83,13 +82,13 @@ def main() -> None:
     print(f"table space 10 MB, {transactions} transactions\n")
 
     results = {}
-    for label, build in (
-        ("UFS on regular disk", lambda d: RegularDisk(d)),
-        ("UFS on virtual log disk", lambda d: VirtualLogDisk(d)),
+    for label, device_type in (
+        ("UFS on regular disk", "regular"),
+        ("UFS on virtual log disk", "vld"),
     ):
         rng = random.Random(42)
-        disk = Disk(ST19101)
-        fs = UFS(build(disk), SPARCSTATION_10)
+        device = build_device_stack(Disk(ST19101), device_type)
+        fs = UFS(device, SPARCSTATION_10)
         db = TinyDatabase(fs, pages, rng)
         recorder = LatencyRecorder()
         for _ in range(transactions):

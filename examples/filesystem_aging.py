@@ -13,12 +13,11 @@ Run:  python examples/filesystem_aging.py
 
 import random
 
-from repro.blockdev import RegularDisk
+from repro.blockdev import build_device_stack
 from repro.disk import Disk, ST19101
 from repro.hosts import SPARCSTATION_10
 from repro.sim.stats import LatencyRecorder
 from repro.ufs import UFS
-from repro.vlog import VirtualLogDisk
 
 _MB = 1 << 20
 
@@ -71,14 +70,13 @@ def main() -> None:
         f"{'seq read (MB/s)':>16}"
     )
     print(header)
-    for label, build, idle in (
-        ("regular disk", lambda d: RegularDisk(d), 0.0),
-        ("VLD (no idle)", lambda d: VirtualLogDisk(d), 0.0),
-        ("VLD + 2s compaction", lambda d: VirtualLogDisk(d), 2.0),
+    for label, device_type, idle in (
+        ("regular disk", "regular", 0.0),
+        ("VLD (no idle)", "vld", 0.0),
+        ("VLD + 2s compaction", "vld", 2.0),
     ):
         rng = random.Random(7)
-        disk = Disk(ST19101)
-        device = build(disk)
+        device = build_device_stack(Disk(ST19101), device_type)
         fs = UFS(device, SPARCSTATION_10)
         age(fs, rng)
         if idle:

@@ -9,12 +9,17 @@ demonstrates the paper's three headline properties:
 3. fast recovery from the firmware's power-down record -- with a scan
    fallback when that record is damaged.
 
+Devices are built through :func:`repro.build_device_stack`, which can
+thread observability layers into any stack; step 1 uses its metrics
+interposer to show *where* each device spends its time.
+
 Run:  python examples/quickstart.py
 """
 
 import random
 
-from repro.blockdev import RegularDisk
+from repro import MetricsDevice, build_device_stack
+from repro.blockdev import find_layer
 from repro.disk import Disk, ST19101
 from repro.vlog import VirtualLogDisk
 
@@ -25,12 +30,14 @@ def main() -> None:
     # -- 1. Eager writing vs update-in-place --------------------------
     print("== 1. Random 4 KB synchronous writes ==")
     results = {}
-    for label, build in (
-        ("update-in-place", lambda d: RegularDisk(d)),
-        ("virtual log disk", lambda d: VirtualLogDisk(d)),
+    for label, device_type in (
+        ("update-in-place", "regular"),
+        ("virtual log disk", "vld"),
     ):
-        disk = Disk(ST19101)
-        device = build(disk)
+        device = build_device_stack(
+            Disk(ST19101), device_type, metrics=True
+        )
+        metrics = find_layer(device, MetricsDevice)
         total = 0.0
         trials = 200
         for i in range(trials):
@@ -38,7 +45,14 @@ def main() -> None:
             breakdown = device.write_block(lba, bytes([i % 251]) * 4096)
             total += breakdown.total
         results[label] = total / trials
-        print(f"  {label:18}: {results[label] * 1e3:6.3f} ms per write")
+        fractions = metrics.component_fractions(include_host=False)
+        parts = " ".join(
+            f"{k}={v * 100:.0f}%" for k, v in fractions.items() if v
+        )
+        print(
+            f"  {label:18}: {results[label] * 1e3:6.3f} ms per write "
+            f"({parts})"
+        )
     speedup = results["update-in-place"] / results["virtual log disk"]
     print(f"  -> eager writing is {speedup:.1f}x faster\n")
 

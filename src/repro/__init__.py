@@ -21,7 +21,21 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.blockdev import BlockDevice, RegularDisk
+from repro.blockdev import (
+    BlockDevice,
+    DeviceCrashed,
+    DeviceFault,
+    DiskFaultInjector,
+    FaultDevice,
+    FaultPlan,
+    InjectedReadError,
+    InterposedDevice,
+    InterposeOptions,
+    MetricsDevice,
+    RegularDisk,
+    TracingDevice,
+    build_device_stack,
+)
 from repro.disk import (
     Disk,
     DiskGeometry,
@@ -69,6 +83,17 @@ __all__ = [
     "ULTRASPARC_170",
     "BlockDevice",
     "RegularDisk",
+    "InterposedDevice",
+    "InterposeOptions",
+    "TracingDevice",
+    "MetricsDevice",
+    "FaultDevice",
+    "FaultPlan",
+    "DiskFaultInjector",
+    "DeviceFault",
+    "DeviceCrashed",
+    "InjectedReadError",
+    "build_device_stack",
     "VirtualLog",
     "VirtualLogDisk",
     "IndirectionMap",

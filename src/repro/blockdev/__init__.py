@@ -7,6 +7,43 @@ device driver interface...").
 """
 
 from repro.blockdev.interface import BlockDevice
+from repro.blockdev.interpose import (
+    DeviceCrashed,
+    DeviceFault,
+    DiskFaultInjector,
+    FaultDevice,
+    FaultPlan,
+    InjectedReadError,
+    InterposedDevice,
+    InterposeOptions,
+    MetricsDevice,
+    TraceEvent,
+    TracingDevice,
+    build_device_stack,
+    core_device,
+    find_layer,
+    layers,
+    wrap_device,
+)
 from repro.blockdev.regular import RegularDisk
 
-__all__ = ["BlockDevice", "RegularDisk"]
+__all__ = [
+    "BlockDevice",
+    "RegularDisk",
+    "InterposedDevice",
+    "InterposeOptions",
+    "TracingDevice",
+    "TraceEvent",
+    "MetricsDevice",
+    "FaultDevice",
+    "FaultPlan",
+    "DiskFaultInjector",
+    "DeviceFault",
+    "DeviceCrashed",
+    "InjectedReadError",
+    "build_device_stack",
+    "wrap_device",
+    "core_device",
+    "find_layer",
+    "layers",
+]

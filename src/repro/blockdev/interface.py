@@ -50,14 +50,16 @@ class BlockDevice(abc.ABC):
         running on the VLD" of Section 4.2.
         """
 
+    @abc.abstractmethod
     def idle(self, seconds: float) -> None:
         """Let idle time pass at the device.
 
         The regular disk just waits; the Virtual Log Disk spends the time
         compacting free space with the drive's internal bandwidth
         (Section 5.5).  Either way the clock ends up ``seconds`` later.
+        Every device must implement this -- a concrete body that raised
+        at call time let subclasses silently miss it.
         """
-        raise NotImplementedError
 
     def check_lba(self, lba: int, count: int = 1) -> None:
         if count <= 0:

@@ -1,0 +1,703 @@
+"""Composable block-device interposers: tracing, metrics, fault injection.
+
+Any :class:`~repro.blockdev.interface.BlockDevice` can be wrapped by an
+:class:`InterposedDevice`, which forwards the whole device interface to an
+inner device while exposing a hook per operation.  Wrappers compose::
+
+    TracingDevice(MetricsDevice(FaultDevice(RegularDisk(disk), plan)))
+
+and are **transparent**: a wrapped device returns byte-identical data and
+identical latency breakdowns (the interposers consume zero simulated
+time), so they can be left in a stack without perturbing an experiment.
+Unknown attributes delegate to the inner device, so code that reaches for
+``device.disk``, ``device.vlog`` or ``device.trim`` keeps working through
+any number of layers.
+
+Three concrete layers:
+
+* :class:`TracingDevice` -- structured per-operation event records (op,
+  lba, count, latency breakdown, simulated timestamp) into a bounded ring
+  buffer, optionally mirrored to a JSONL sink;
+* :class:`MetricsDevice` -- op/block counters and per-component latency
+  histograms from which the Figure 9 breakdown report can be regenerated,
+  including host time inferred from the simulated-clock gaps between
+  device operations;
+* :class:`FaultDevice` -- deterministic, seeded injection of torn writes,
+  dropped writes, read errors, and crash-after-N-operations.
+
+For faults *below* the logical layer (killing a Virtual Log Disk in the
+middle of its internal write sequence), :class:`DiskFaultInjector`
+installs on the raw :class:`~repro.disk.disk.Disk` and crashes on the
+N-th physical write -- the crash-point methodology the recovery tests
+sweep.
+
+:func:`build_device_stack` is the single factory every consumer builds
+its stack through (the harness, the examples, the file systems).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple, Type
+
+from repro.blockdev.interface import BlockDevice
+from repro.blockdev.regular import RegularDisk
+from repro.sim.metrics import LatencyHistogram
+from repro.sim.stats import COMPONENTS, Breakdown
+
+
+class DeviceFault(Exception):
+    """Base class for injected device failures."""
+
+
+class DeviceCrashed(DeviceFault):
+    """The device lost power mid-operation; volatile state is gone.
+
+    The disk image below the crash point survives (possibly with a torn
+    final write); callers model recovery by invoking the wrapped device's
+    ``crash()``/``recover()`` machinery.
+    """
+
+
+class InjectedReadError(DeviceFault):
+    """An unrecoverable media error on a read, injected by a fault plan."""
+
+
+# ======================================================================
+# The wrapper base
+# ======================================================================
+
+class InterposedDevice(BlockDevice):
+    """A block device that forwards every operation to an inner device.
+
+    Subclasses observe (or perturb) operations by overriding the
+    interface methods; the base class is a pure pass-through.  Attribute
+    access falls through to the inner device, which keeps device-specific
+    surface (``.disk``, ``.vlog``, ``.trim``, ``.utilization``, ...)
+    reachable through a stack of wrappers.
+    """
+
+    def __init__(self, inner: BlockDevice) -> None:
+        self.inner = inner
+
+    # ``block_size``/``num_blocks`` are declared (not set) on BlockDevice,
+    # so they must delegate explicitly rather than via ``__getattr__``.
+    @property
+    def block_size(self) -> int:  # type: ignore[override]
+        return self.inner.block_size
+
+    @property
+    def num_blocks(self) -> int:  # type: ignore[override]
+        return self.inner.num_blocks
+
+    def __getattr__(self, name: str):
+        if name == "inner":  # guard: __init__ not yet run
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # -- the BlockDevice interface, delegated --------------------------
+
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        return self.inner.read_block(lba)
+
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        return self.inner.write_block(lba, data)
+
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        return self.inner.read_blocks(lba, count)
+
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        return self.inner.write_blocks(lba, count, data)
+
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        return self.inner.write_partial(lba, offset, data)
+
+    def idle(self, seconds: float) -> None:
+        self.inner.idle(seconds)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.inner!r})"
+
+
+def layers(device: BlockDevice) -> Iterator[BlockDevice]:
+    """Yield every layer of a device stack, outermost first."""
+    while True:
+        yield device
+        if not isinstance(device, InterposedDevice):
+            return
+        device = device.inner
+
+
+def core_device(device: BlockDevice) -> BlockDevice:
+    """The innermost (unwrapped) device of a stack."""
+    for layer in layers(device):
+        pass
+    return layer
+
+
+def find_layer(device: BlockDevice, cls: Type) -> Optional[BlockDevice]:
+    """The outermost layer of type ``cls`` in a stack, or ``None``."""
+    for layer in layers(device):
+        if isinstance(layer, cls):
+            return layer
+    return None
+
+
+class ObservingDevice(InterposedDevice):
+    """An interposer that observes completed operations without changing
+    them.  Subclasses implement :meth:`_note`; when ``enabled`` is False
+    every operation short-circuits to plain delegation (the zero-cost-
+    when-disabled contract)."""
+
+    def __init__(self, inner: BlockDevice) -> None:
+        super().__init__(inner)
+        self.enabled = True
+
+    def _clock_now(self) -> float:
+        clock = getattr(getattr(self.inner, "disk", None), "clock", None)
+        return clock.now if clock is not None else 0.0
+
+    def _note(
+        self,
+        op: str,
+        lba: int,
+        count: int,
+        breakdown: Breakdown,
+        start: float,
+    ) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract hook
+
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        if not self.enabled:
+            return self.inner.read_block(lba)
+        start = self._clock_now()
+        data, breakdown = self.inner.read_block(lba)
+        self._note("read", lba, 1, breakdown, start)
+        return data, breakdown
+
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        if not self.enabled:
+            return self.inner.write_block(lba, data)
+        start = self._clock_now()
+        breakdown = self.inner.write_block(lba, data)
+        self._note("write", lba, 1, breakdown, start)
+        return breakdown
+
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        if not self.enabled:
+            return self.inner.read_blocks(lba, count)
+        start = self._clock_now()
+        data, breakdown = self.inner.read_blocks(lba, count)
+        self._note("read", lba, count, breakdown, start)
+        return data, breakdown
+
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        if not self.enabled:
+            return self.inner.write_blocks(lba, count, data)
+        start = self._clock_now()
+        breakdown = self.inner.write_blocks(lba, count, data)
+        self._note("write", lba, count, breakdown, start)
+        return breakdown
+
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        if not self.enabled:
+            return self.inner.write_partial(lba, offset, data)
+        start = self._clock_now()
+        breakdown = self.inner.write_partial(lba, offset, data)
+        self._note("write_partial", lba, 1, breakdown, start)
+        return breakdown
+
+    def idle(self, seconds: float) -> None:
+        self.inner.idle(seconds)
+        if self.enabled:
+            self._note_idle(seconds)
+
+    def _note_idle(self, seconds: float) -> None:
+        pass
+
+
+# ======================================================================
+# Tracing
+# ======================================================================
+
+@dataclass
+class TraceEvent:
+    """One logical device operation, as the host saw it."""
+
+    seq: int
+    op: str
+    lba: int
+    count: int
+    start: float
+    breakdown: Breakdown
+
+    @property
+    def elapsed(self) -> float:
+        return self.breakdown.total
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "op": self.op,
+            "lba": self.lba,
+            "count": self.count,
+            "start": self.start,
+            "elapsed": self.elapsed,
+            "breakdown": self.breakdown.as_dict(),
+        }
+
+
+class TracingDevice(ObservingDevice):
+    """Records a structured event per operation into a ring buffer.
+
+    Args:
+        inner: The wrapped device.
+        capacity: Ring-buffer depth (oldest events are evicted).
+        sink: Optional JSONL destination -- a path (opened lazily,
+            append mode) or any object with a ``write`` method.
+    """
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        capacity: int = 4096,
+        sink: Optional[object] = None,
+    ) -> None:
+        super().__init__(inner)
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.events: deque = deque(maxlen=capacity)
+        self.total_events = 0
+        self._sink_spec = sink
+        self._sink = sink if sink is None or hasattr(sink, "write") else None
+        self._owns_sink = False
+
+    def _note(self, op, lba, count, breakdown, start) -> None:
+        event = TraceEvent(
+            seq=self.total_events,
+            op=op,
+            lba=lba,
+            count=count,
+            start=start,
+            breakdown=breakdown.copy(),
+        )
+        self.total_events += 1
+        self.events.append(event)
+        sink = self._open_sink()
+        if sink is not None:
+            sink.write(json.dumps(event.as_dict()) + "\n")
+
+    def _open_sink(self):
+        if self._sink is None and self._sink_spec is not None:
+            self._sink = open(str(self._sink_spec), "a")
+            self._owns_sink = True
+        return self._sink
+
+    def close(self) -> None:
+        """Flush and close a path-opened sink (no-op otherwise)."""
+        if self._sink is not None:
+            if hasattr(self._sink, "flush"):
+                self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+                self._sink = None
+                self._owns_sink = False
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.total_events = 0
+
+
+# ======================================================================
+# Metrics
+# ======================================================================
+
+class MetricsDevice(ObservingDevice):
+    """Counts operations and histograms latencies per component.
+
+    Beyond the device-visible components (``scsi``, ``transfer``,
+    ``locate``), host processing time is inferred from the simulated
+    clock: any time that passes *between* two device operations (and is
+    not declared idle via :meth:`idle`) must have been spent above the
+    device -- system call, file system code, driver.  That inferred time
+    is reported as the ``other`` component, which is how the Figure 9
+    breakdown is regenerated from this layer's data alone.
+    """
+
+    def __init__(self, inner: BlockDevice) -> None:
+        super().__init__(inner)
+        self.reset()
+
+    def reset(self) -> None:
+        self.ops: Dict[str, int] = {}
+        self.blocks: Dict[str, int] = {}
+        self.op_latency: Dict[str, LatencyHistogram] = {}
+        self.component_hist: Dict[str, LatencyHistogram] = {
+            name: LatencyHistogram() for name in COMPONENTS
+        }
+        self.host_seconds = 0.0
+        self.idle_seconds = 0.0
+        self._last_end: Optional[float] = self._clock_now()
+
+    def _note(self, op, lba, count, breakdown, start) -> None:
+        self.ops[op] = self.ops.get(op, 0) + 1
+        self.blocks[op] = self.blocks.get(op, 0) + count
+        self.op_latency.setdefault(op, LatencyHistogram()).record(
+            breakdown.total
+        )
+        for name in COMPONENTS:
+            self.component_hist[name].record(getattr(breakdown, name))
+        if self._last_end is not None and start > self._last_end:
+            self.host_seconds += start - self._last_end
+        self._last_end = self._clock_now()
+
+    def _note_idle(self, seconds: float) -> None:
+        # Idle time is neither device nor host work; advance the gap
+        # origin past it so it is not misread as host processing.
+        self.idle_seconds += seconds
+        self._last_end = self._clock_now()
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.ops.values())
+
+    def component_totals(self, include_host: bool = True) -> Dict[str, float]:
+        """Seconds per component, ``other`` inferred from clock gaps."""
+        totals = {
+            name: self.component_hist[name].sum for name in COMPONENTS
+        }
+        if include_host:
+            totals["other"] += self.host_seconds
+        return totals
+
+    def component_fractions(self, include_host: bool = True) -> Dict[str, float]:
+        """Each component as a fraction of total time (Figure 9 bars)."""
+        totals = self.component_totals(include_host)
+        whole = sum(totals.values())
+        if whole <= 0.0:
+            return {name: 0.0 for name in COMPONENTS}
+        return {name: totals[name] / whole for name in COMPONENTS}
+
+    def device_seconds(self) -> float:
+        return sum(self.component_hist[name].sum for name in COMPONENTS)
+
+    def summary(self) -> str:
+        """One-line human-readable summary (latencies in milliseconds)."""
+        ops = " ".join(
+            f"{op}={self.ops[op]}({self.blocks[op]}blk)"
+            for op in sorted(self.ops)
+        )
+        fractions = self.component_fractions()
+        parts = " ".join(
+            f"{k}={v * 100:.0f}%" for k, v in fractions.items()
+        )
+        return (
+            f"ops[{ops}] device={self.device_seconds() * 1e3:.3f}ms "
+            f"host={self.host_seconds * 1e3:.3f}ms [{parts}]"
+        )
+
+
+# ======================================================================
+# Fault injection
+# ======================================================================
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded description of what to break.
+
+    Rates are per-operation probabilities drawn from a private
+    ``random.Random(seed)`` stream, so a plan misbehaves identically on
+    every run.  ``crash_after_ops`` counts host-visible operations
+    (reads and writes, not idle); the N-th operation raises
+    :class:`DeviceCrashed` without reaching the inner device.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    dropped_write_rate: float = 0.0
+    crash_after_ops: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "torn_write_rate",
+                     "dropped_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.crash_after_ops is not None and self.crash_after_ops <= 0:
+            raise ValueError("crash_after_ops must be positive")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from ``key=value`` pairs, e.g.
+        ``"crash_after=40,torn=0.05,drop=0.02,read_err=0.01,seed=7"``."""
+        keys = {
+            "seed": ("seed", int),
+            "read_err": ("read_error_rate", float),
+            "torn": ("torn_write_rate", float),
+            "drop": ("dropped_write_rate", float),
+            "crash_after": ("crash_after_ops", int),
+        }
+        kwargs = {}
+        for pair in filter(None, (p.strip() for p in spec.split(","))):
+            key, _, value = pair.partition("=")
+            if key not in keys or not value:
+                raise ValueError(
+                    f"bad fault spec {pair!r}; known keys: "
+                    f"{', '.join(sorted(keys))}"
+                )
+            name, convert = keys[key]
+            kwargs[name] = convert(value)
+        return cls(**kwargs)
+
+
+class FaultDevice(InterposedDevice):
+    """Injects faults at the logical-block layer, per a :class:`FaultPlan`.
+
+    * **read error**: the read raises :class:`InjectedReadError` before
+      touching the inner device;
+    * **torn write**: only a prefix of the written blocks reaches the
+      inner device; the caller is told the write succeeded (the classic
+      power-loss tear, discovered only on later reads);
+    * **dropped write**: nothing reaches the inner device at all (a
+      lying write cache);
+    * **crash after N ops**: the N-th host-visible operation raises
+      :class:`DeviceCrashed`.
+    """
+
+    def __init__(self, inner: BlockDevice, plan: FaultPlan) -> None:
+        super().__init__(inner)
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.ops_seen = 0
+        self.reads_failed = 0
+        self.writes_torn = 0
+        self.writes_dropped = 0
+        self.crashed = False
+
+    def _tick(self) -> None:
+        if self.crashed:
+            raise DeviceCrashed("device already crashed")
+        self.ops_seen += 1
+        crash_at = self.plan.crash_after_ops
+        if crash_at is not None and self.ops_seen >= crash_at:
+            self.crashed = True
+            raise DeviceCrashed(
+                f"injected crash at operation {self.ops_seen}"
+            )
+
+    def _fire(self, rate: float) -> bool:
+        return rate > 0.0 and self.rng.random() < rate
+
+    def _check_read(self, lba: int, count: int) -> None:
+        self._tick()
+        if self._fire(self.plan.read_error_rate):
+            self.reads_failed += 1
+            raise InjectedReadError(
+                f"injected media error reading blocks [{lba}, {lba + count})"
+            )
+
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        self._check_read(lba, 1)
+        return self.inner.read_block(lba)
+
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        self._check_read(lba, count)
+        return self.inner.read_blocks(lba, count)
+
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        return self.write_blocks(lba, 1, data)
+
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        self._tick()
+        if self._fire(self.plan.dropped_write_rate):
+            self.writes_dropped += 1
+            self.check_lba(lba, count)
+            self.check_data(data, count)
+            return Breakdown()
+        if self._fire(self.plan.torn_write_rate):
+            self.writes_torn += 1
+            self.check_lba(lba, count)
+            data = self.check_data(data, count)
+            keep = self.rng.randrange(count)  # 0..count-1 blocks survive
+            if keep == 0:
+                return Breakdown()
+            return self.inner.write_blocks(
+                lba, keep, data[: keep * self.block_size]
+            )
+        return self.inner.write_blocks(lba, count, data)
+
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        self._tick()
+        if self._fire(self.plan.dropped_write_rate):
+            self.writes_dropped += 1
+            return Breakdown()
+        # A sub-block write is a single sector run; tearing it degenerates
+        # to dropping it.
+        if self._fire(self.plan.torn_write_rate):
+            self.writes_torn += 1
+            return Breakdown()
+        return self.inner.write_partial(lba, offset, data)
+
+
+class DiskFaultInjector:
+    """Crashes the raw :class:`~repro.disk.disk.Disk` on the N-th
+    physical write -- *below* the logical layer, so a Virtual Log Disk is
+    killed in the middle of its internal data-write / map-append
+    sequence (the crash points Section 4's recovery must survive).
+
+    ``torn=True`` applies the first half of the fatal write's sectors
+    before crashing (a sector-granular tear); a one-sector write tears to
+    nothing, i.e. it is dropped entirely.
+    """
+
+    def __init__(
+        self,
+        crash_after_writes: Optional[int] = None,
+        torn: bool = True,
+        read_error_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.crash_after_writes = crash_after_writes
+        self.torn = torn
+        self.read_error_rate = read_error_rate
+        self.rng = random.Random(seed)
+        self.writes_seen = 0
+        self.reads_seen = 0
+        self.crashed = False
+
+    def install(self, disk) -> "DiskFaultInjector":
+        disk.fault_injector = self
+        return self
+
+    def uninstall(self, disk) -> None:
+        if disk.fault_injector is self:
+            disk.fault_injector = None
+
+    def before_write(self, disk, sector: int, count: int, data) -> None:
+        if self.crashed:
+            raise DeviceCrashed("disk already crashed")
+        self.writes_seen += 1
+        at = self.crash_after_writes
+        if at is not None and self.writes_seen >= at:
+            self.crashed = True
+            if self.torn and data is not None and count > 1:
+                keep = count // 2
+                if getattr(disk, "_data", None) is not None:
+                    disk.poke(sector, data[: keep * disk.sector_bytes])
+            raise DeviceCrashed(
+                f"injected power loss at physical write {self.writes_seen} "
+                f"(sector {sector}, {count} sectors)"
+            )
+
+    def before_read(self, disk, sector: int, count: int) -> None:
+        if self.crashed:
+            raise DeviceCrashed("disk already crashed")
+        self.reads_seen += 1
+        if self.read_error_rate > 0.0 and (
+            self.rng.random() < self.read_error_rate
+        ):
+            raise InjectedReadError(
+                f"injected media error at sector {sector}"
+            )
+
+
+# ======================================================================
+# The stack factory
+# ======================================================================
+
+@dataclass(frozen=True)
+class InterposeOptions:
+    """Which interposers :func:`build_device_stack` should thread in."""
+
+    trace: bool = False
+    trace_capacity: int = 4096
+    trace_sink: Optional[object] = None
+    metrics: bool = False
+    faults: Optional[FaultPlan] = None
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.trace or self.metrics or self.faults is not None
+
+
+def wrap_device(
+    device: BlockDevice, options: Optional[InterposeOptions]
+) -> BlockDevice:
+    """Apply the requested interposers around an existing device.
+
+    Layer order, innermost out: faults (so observers see the faulty
+    behaviour the host sees), then metrics, then tracing.  With no
+    options enabled the device is returned untouched -- the disabled
+    stack costs nothing.
+    """
+    if options is None or not options.any_enabled:
+        return device
+    if options.faults is not None:
+        device = FaultDevice(device, options.faults)
+    if options.metrics:
+        device = MetricsDevice(device)
+    if options.trace:
+        device = TracingDevice(
+            device,
+            capacity=options.trace_capacity,
+            sink=options.trace_sink,
+        )
+    return device
+
+
+def build_device_stack(
+    disk,
+    device_type: str = "regular",
+    block_size: int = 4096,
+    *,
+    options: Optional[InterposeOptions] = None,
+    trace: bool = False,
+    trace_capacity: int = 4096,
+    trace_sink: Optional[object] = None,
+    metrics: bool = False,
+    faults: Optional[FaultPlan] = None,
+    device_factory: Optional[Callable] = None,
+    **device_kwargs,
+) -> BlockDevice:
+    """Build a core device over ``disk`` and wrap it with interposers.
+
+    ``device_type`` selects the core: ``"regular"`` (update-in-place
+    identity mapping) or ``"vld"`` (the Virtual Log Disk); a custom
+    ``device_factory(disk, block_size=..., **device_kwargs)`` overrides
+    both.  Interposers come from ``options`` or, when that is omitted,
+    from the individual keyword flags.  This is the single entry point
+    the harness, the examples, and the file systems build stacks through.
+    """
+    if device_factory is not None:
+        device: BlockDevice = device_factory(
+            disk, block_size=block_size, **device_kwargs
+        )
+    elif device_type == "regular":
+        device = RegularDisk(disk, block_size=block_size, **device_kwargs)
+    elif device_type == "vld":
+        from repro.vlog.vld import VirtualLogDisk
+
+        device = VirtualLogDisk(disk, block_size=block_size, **device_kwargs)
+    else:
+        raise ValueError(f"unknown device type {device_type!r}")
+    if options is None:
+        options = InterposeOptions(
+            trace=trace,
+            trace_capacity=trace_capacity,
+            trace_sink=trace_sink,
+            metrics=metrics,
+            faults=faults,
+        )
+    return wrap_device(device, options)

@@ -22,6 +22,7 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import DiskMechanics
 from repro.disk.specs import DiskSpec
 from repro.sim.clock import SimClock
+from repro.sim.metrics import OpCounters
 from repro.sim.stats import Breakdown
 
 
@@ -56,12 +57,35 @@ class Disk:
         self._data: Optional[bytearray] = (
             bytearray(self.geometry.capacity_bytes) if store_data else None
         )
-        # Statistics
-        self.reads = 0
-        self.writes = 0
-        self.sectors_read = 0
-        self.sectors_written = 0
-        self.busy_time = 0.0
+        # Statistics (request counts, sectors moved, busy time).
+        self.counters = OpCounters()
+        #: Optional duck-typed fault hook with ``before_read(disk, sector,
+        #: count)`` / ``before_write(disk, sector, count, data)`` methods
+        #: that may raise -- see ``repro.blockdev.interpose``.
+        self.fault_injector = None
+
+    # Back-compatible views of the counters (these were plain attributes
+    # before the accounting moved into OpCounters).
+
+    @property
+    def reads(self) -> int:
+        return self.counters.reads
+
+    @property
+    def writes(self) -> int:
+        return self.counters.writes
+
+    @property
+    def sectors_read(self) -> int:
+        return self.counters.sectors_read
+
+    @property
+    def sectors_written(self) -> int:
+        return self.counters.sectors_written
+
+    @property
+    def busy_time(self) -> float:
+        return self.counters.busy_time
 
     # ------------------------------------------------------------------
     # Introspection used by the eager-writing machinery
@@ -128,6 +152,8 @@ class Disk:
         host-visible command overhead.
         """
         self._check_run(sector, count)
+        if self.fault_injector is not None:
+            self.fault_injector.before_read(self, sector, count)
         breakdown = Breakdown()
         start = self.clock.now
         if charge_scsi:
@@ -140,9 +166,7 @@ class Disk:
             self._service_read_chunk(cursor, chunk, breakdown)
             cursor += chunk
             remaining -= chunk
-        self.reads += 1
-        self.sectors_read += count
-        self.busy_time += self.clock.now - start
+        self.counters.note_read(count, self.clock.now - start)
         if self._data is None:
             data = b""
         else:
@@ -168,6 +192,8 @@ class Disk:
                 f"data length {len(data)} != {count} sectors "
                 f"({count * self.sector_bytes} bytes)"
             )
+        if self.fault_injector is not None:
+            self.fault_injector.before_write(self, sector, count, data)
         breakdown = Breakdown()
         start = self.clock.now
         if charge_scsi:
@@ -187,9 +213,7 @@ class Disk:
             )
             self._data[lo : lo + len(payload)] = payload
         self.cache.note_write(sector, count)
-        self.writes += 1
-        self.sectors_written += count
-        self.busy_time += self.clock.now - start
+        self.counters.note_write(count, self.clock.now - start)
         return breakdown
 
     def _chunk_within_track(self, sector: int, remaining: int) -> int:

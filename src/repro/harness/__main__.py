@@ -3,10 +3,19 @@
 Regenerates the requested tables/figures (default: the quick set) and
 prints the paper-style rows.  ``--full`` uses paper-scale workloads.
 
+Interposer flags thread observability through every device stack the
+experiments build: ``--trace PATH`` appends one JSONL record per device
+operation, ``--metrics`` prints a per-stack op/latency summary after each
+experiment, and ``--faults SPEC`` injects deterministic device faults
+(``SPEC`` like ``crash_after=40,torn=0.05,seed=7``).
+
 Examples::
 
     python -m repro.harness table1 figure1
     python -m repro.harness --full figure8
+    python -m repro.harness --metrics table2
+    python -m repro.harness --trace /tmp/ops.jsonl figure6
+    python -m repro.harness --faults crash_after=500 figure6
     python -m repro.harness --list
 """
 
@@ -16,7 +25,8 @@ import argparse
 import sys
 import time
 
-from repro.harness import experiments
+from repro.blockdev.interpose import DeviceCrashed, FaultPlan, InterposeOptions
+from repro.harness import configs, experiments
 from repro.harness.report import format_table
 from repro.sim.stats import COMPONENTS
 
@@ -147,11 +157,29 @@ def main(argv=None) -> int:
                         help="paper-scale workloads (slower)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="append a JSONL record per device op to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print per-stack device metrics summaries")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject device faults, e.g. "
+                             "'crash_after=40,torn=0.05,seed=7'")
     args = parser.parse_args(argv)
 
     if args.list:
         print("\n".join(_ALL))
         return 0
+    if args.trace or args.metrics or args.faults:
+        try:
+            faults = FaultPlan.parse(args.faults) if args.faults else None
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
+        configs.set_default_interpose(InterposeOptions(
+            trace=bool(args.trace),
+            trace_sink=args.trace,
+            metrics=args.metrics,
+            faults=faults,
+        ))
     names = args.names or _ALL
     overrides = _FULL if args.full else _QUICK
     for name in names:
@@ -162,10 +190,28 @@ def main(argv=None) -> int:
         fn = getattr(experiments, name)
         kwargs = overrides.get(name, {})
         start = time.time()
-        result = fn(**kwargs)
+        try:
+            result = fn(**kwargs)
+        except DeviceCrashed as crash:
+            print(f"[{name} aborted: injected device crash: {crash}]\n",
+                  file=sys.stderr)
+            _report_metrics(args)
+            return 3
         _print_result(name, result)
         print(f"[{name} regenerated in {time.time() - start:.1f}s wall]\n")
+        _report_metrics(args)
     return 0
+
+
+def _report_metrics(args) -> None:
+    """Print and clear the metrics of every stack built so far."""
+    stacks = configs.drain_metrics_stacks()
+    if not args.metrics:
+        return
+    for stack_name, metrics in stacks:
+        print(f"  [metrics {stack_name}] {metrics.summary()}")
+    if stacks:
+        print()
 
 
 if __name__ == "__main__":

@@ -1,13 +1,27 @@
 """Stack configurations: the four file system / disk combinations of
-Figure 5, on either drive and either host."""
+Figure 5, on either drive and either host.
+
+Every stack is built through
+:func:`~repro.blockdev.interpose.build_device_stack`, so any
+configuration can carry interposers -- tracing, metrics, fault
+injection -- without the experiments knowing.  A process-wide default
+(:func:`set_default_interpose`) lets the command-line harness switch
+observability on for *every* stack an experiment builds.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import List, Optional, Tuple
 
 from repro.blockdev.interface import BlockDevice
-from repro.blockdev.regular import RegularDisk
+from repro.blockdev.interpose import (
+    FaultPlan,
+    InterposeOptions,
+    MetricsDevice,
+    build_device_stack,
+    find_layer,
+)
 from repro.disk.cache import ReadAheadPolicy
 from repro.disk.disk import Disk
 from repro.disk.specs import DISKS, DiskSpec
@@ -15,7 +29,6 @@ from repro.fs.api import FileSystem
 from repro.hosts.specs import HOSTS, HostSpec
 from repro.lfs.lfs import LFS
 from repro.ufs.ufs import UFS
-from repro.vlog.vld import VirtualLogDisk
 
 
 @dataclass(frozen=True)
@@ -29,6 +42,10 @@ class StackConfig:
     host_name: str = "sparc10"
     nvram: bool = False
     num_cylinders: int = 0  # 0 = the spec's simulated default
+    # Interposer flags (combined with the process-wide default).
+    trace: bool = False
+    metrics: bool = False
+    faults: Optional[FaultPlan] = None
 
     def with_platform(self, disk_name: str, host_name: str) -> "StackConfig":
         return replace(self, disk_name=disk_name, host_name=host_name)
@@ -43,13 +60,57 @@ STACKS = {
     "lfs-vld": StackConfig("lfs-vld", "lfs", "vld"),
 }
 
+#: Process-wide interposer default, OR-combined with each config's own
+#: flags (the harness CLI sets this for --trace/--metrics/--faults).
+_DEFAULT_INTERPOSE: Optional[InterposeOptions] = None
+
+#: Stacks built with metrics enabled, for post-run reporting by the CLI:
+#: (config name, MetricsDevice) pairs, appended by :func:`build_stack`.
+METRICS_STACKS: List[Tuple[str, MetricsDevice]] = []
+
+
+def set_default_interpose(options: Optional[InterposeOptions]) -> None:
+    """Set (or clear, with ``None``) the process-wide interposer default."""
+    global _DEFAULT_INTERPOSE
+    _DEFAULT_INTERPOSE = options
+
+
+def default_interpose() -> Optional[InterposeOptions]:
+    return _DEFAULT_INTERPOSE
+
+
+def _effective_interpose(
+    config: StackConfig, override: Optional[InterposeOptions]
+) -> Optional[InterposeOptions]:
+    base = override if override is not None else _DEFAULT_INTERPOSE
+    trace = config.trace or (base.trace if base else False)
+    metrics = config.metrics or (base.metrics if base else False)
+    faults = config.faults or (base.faults if base else None)
+    if not (trace or metrics or faults):
+        return None
+    return InterposeOptions(
+        trace=trace,
+        trace_capacity=base.trace_capacity if base else 4096,
+        trace_sink=base.trace_sink if base else None,
+        metrics=metrics,
+        faults=faults,
+    )
+
 
 def build_stack(
     config: StackConfig,
+    interpose: Optional[InterposeOptions] = None,
 ) -> Tuple[FileSystem, Disk, BlockDevice]:
-    """Instantiate (file system, disk, device) for a configuration."""
+    """Instantiate (file system, disk, device) for a configuration.
+
+    ``device`` is the *outermost* layer of the device stack; with
+    interposers enabled that is a wrapper, and
+    :func:`~repro.blockdev.interpose.find_layer` fishes out a specific
+    layer (e.g. the :class:`MetricsDevice` feeding the Figure 9 report).
+    """
     spec: DiskSpec = DISKS[config.disk_name]
     host: HostSpec = HOSTS[config.host_name]
+    options = _effective_interpose(config, interpose)
     if config.device_type == "vld":
         # The paper's VLD read-ahead fix: prefetch whole tracks and retain.
         disk = Disk(
@@ -57,12 +118,16 @@ def build_stack(
             num_cylinders=config.num_cylinders,
             readahead=ReadAheadPolicy.FULL_TRACK,
         )
-        device: BlockDevice = VirtualLogDisk(disk)
     elif config.device_type == "regular":
         disk = Disk(spec, num_cylinders=config.num_cylinders)
-        device = RegularDisk(disk)
     else:
         raise ValueError(f"unknown device type {config.device_type!r}")
+    device = build_device_stack(
+        disk, config.device_type, options=options
+    )
+    metrics_layer = find_layer(device, MetricsDevice)
+    if metrics_layer is not None:
+        METRICS_STACKS.append((config.name, metrics_layer))
     if config.fs_type == "ufs":
         fs: FileSystem = UFS(device, host)
     elif config.fs_type == "lfs":
@@ -70,6 +135,13 @@ def build_stack(
     else:
         raise ValueError(f"unknown fs type {config.fs_type!r}")
     return fs, disk, device
+
+
+def drain_metrics_stacks() -> List[Tuple[str, MetricsDevice]]:
+    """Return and clear the registry of metrics-enabled stacks."""
+    drained = list(METRICS_STACKS)
+    METRICS_STACKS.clear()
+    return drained
 
 
 def utilization_of(fs: FileSystem, device: BlockDevice) -> float:

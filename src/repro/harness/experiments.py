@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.blockdev.interpose import MetricsDevice, find_layer
 from repro.disk.specs import DISKS, HP97560, ST19101
 from repro.harness.configs import STACKS, StackConfig, build_stack, utilization_of
 from repro.harness.runner import simulate_locate_free, simulate_track_fill
@@ -253,9 +254,18 @@ def table2(
     updates: int = 300,
     warmup: int = 100,
     compact_seconds: float = 20.0,
+    from_metrics: bool = True,
 ) -> Dict[str, Dict[str, float]]:
     """Update-in-place vs virtual-log gap across platforms (Table 2),
-    with the Figure 9 component breakdowns of the same runs."""
+    with the Figure 9 component breakdowns of the same runs.
+
+    With ``from_metrics`` (the default) each stack carries a
+    :class:`~repro.blockdev.interpose.MetricsDevice` and the component
+    breakdown comes from its per-component latency histograms -- the
+    device-visible parts measured at the device boundary, host time
+    inferred from the clock gaps between device operations -- rather
+    than from the per-call breakdowns the workload accumulates.
+    """
     result: Dict[str, Dict[str, float]] = {}
     for disk_name, host_name in PLATFORMS:
         spec = DISKS[disk_name]
@@ -270,9 +280,11 @@ def table2(
         fractions = {}
         for device_type in ("regular", "vld"):
             config = StackConfig(
-                f"ufs-{device_type}", "ufs", device_type, disk_name, host_name
+                f"ufs-{device_type}", "ufs", device_type, disk_name,
+                host_name, metrics=from_metrics,
             )
             fs, _disk, device = build_stack(config)
+            metrics = find_layer(device, MetricsDevice)
             prepare_file(fs, "/target", file_bytes)
             # Footnote 1 of the paper: "The VLD latency in this case is
             # measured immediately after running a compactor."  Idle time
@@ -280,10 +292,17 @@ def table2(
             # (a no-op on the regular disk).
             device.idle(compact_seconds)
             recorder = run_random_updates(
-                fs, "/target", file_bytes, updates, warmup=warmup
+                fs, "/target", file_bytes, updates, warmup=warmup,
+                on_measure_start=(
+                    metrics.reset if metrics is not None else None
+                ),
             )
             latencies[device_type] = recorder.mean()
-            fractions[device_type] = recorder.component_fractions()
+            fractions[device_type] = (
+                metrics.component_fractions()
+                if metrics is not None
+                else recorder.component_fractions()
+            )
         key = f"{disk_name}+{host_name}"
         entry: Dict[str, float] = {
             "update_in_place_ms": latencies["regular"] * 1e3,

@@ -8,6 +8,7 @@ running deterministically and fast.
 """
 
 from repro.sim.clock import SimClock
+from repro.sim.metrics import LatencyHistogram, OpCounters
 from repro.sim.stats import (
     COMPONENTS,
     Breakdown,
@@ -19,4 +20,6 @@ __all__ = [
     "COMPONENTS",
     "Breakdown",
     "LatencyRecorder",
+    "LatencyHistogram",
+    "OpCounters",
 ]

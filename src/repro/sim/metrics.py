@@ -1,0 +1,138 @@
+"""Reusable operation accounting: counters and latency histograms.
+
+Two consumers share these structures:
+
+* :class:`~repro.disk.disk.Disk` keeps its physical-request statistics in
+  an :class:`OpCounters` (previously five ad-hoc attributes);
+* :class:`~repro.blockdev.interpose.MetricsDevice` keeps per-component
+  :class:`LatencyHistogram` objects at the logical-block layer, from which
+  the Figure 9 breakdown report can be regenerated without any bespoke
+  accounting in the workloads.
+
+Histograms use power-of-two buckets (microsecond base), the usual shape
+for storage latency distributions: exact counts and exact sums are kept,
+so totals and means are precise while percentiles are bucket-resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+class OpCounters:
+    """Read/write operation and sector counters plus busy time."""
+
+    __slots__ = (
+        "reads",
+        "writes",
+        "sectors_read",
+        "sectors_written",
+        "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.sectors_read = 0
+        self.sectors_written = 0
+        self.busy_time = 0.0
+
+    def note_read(self, sectors: int, seconds: float) -> None:
+        self.reads += 1
+        self.sectors_read += sectors
+        self.busy_time += seconds
+
+    def note_write(self, sectors: int, seconds: float) -> None:
+        self.writes += 1
+        self.sectors_written += sectors
+        self.busy_time += seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"OpCounters(reads={self.reads}, writes={self.writes}, "
+            f"sectors_read={self.sectors_read}, "
+            f"sectors_written={self.sectors_written}, "
+            f"busy_time={self.busy_time:.6f}s)"
+        )
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram with exact count and sum.
+
+    Bucket ``i`` holds samples in ``[base * 2**i, base * 2**(i+1))``;
+    ``base`` defaults to one microsecond.  Sub-base samples (including
+    exact zeros) land in a dedicated underflow bucket ``-1``.
+    """
+
+    __slots__ = ("base", "buckets", "count", "sum")
+
+    def __init__(self, base: float = 1e-6) -> None:
+        if base <= 0.0:
+            raise ValueError("histogram base must be positive")
+        self.base = base
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError("latencies must be non-negative")
+        index = (
+            -1 if seconds < self.base
+            else int(math.floor(math.log2(seconds / self.base)))
+        )
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += seconds
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper edge of the bucket holding the requested quantile."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must lie in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(fraction * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return self.base * 2.0 ** (index + 1)
+        return self.base * 2.0 ** (max(self.buckets) + 1)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Bucket counts keyed by a human-readable upper edge."""
+        result = {}
+        for index in sorted(self.buckets):
+            upper = self.base * 2.0 ** (index + 1)
+            result[f"<{upper * 1e6:g}us"] = self.buckets[index]
+        return result
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        if other.base != self.base:
+            raise ValueError("cannot merge histograms with different bases")
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        return self
+
+    def reset(self) -> None:
+        self.buckets.clear()
+        self.count = 0
+        self.sum = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(n={self.count}, "
+            f"mean={self.mean() * 1e3:.3f}ms)"
+        )

@@ -64,6 +64,30 @@ class Breakdown:
     def copy(self) -> "Breakdown":
         return Breakdown(self.scsi, self.transfer, self.locate, self.other)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Breakdown):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in COMPONENTS
+        )
+
+    # Breakdowns are mutable accumulators; keep them unhashable so they
+    # are never silently used as set members or dict keys.
+    __hash__ = None  # type: ignore[assignment]
+
+    def isclose(self, other: "Breakdown", rel_tol: float = 1e-9,
+                abs_tol: float = 1e-12) -> bool:
+        """Component-wise :func:`math.isclose` (for accumulated sums whose
+        float addition order may differ)."""
+        return all(
+            math.isclose(
+                getattr(self, name), getattr(other, name),
+                rel_tol=rel_tol, abs_tol=abs_tol,
+            )
+            for name in COMPONENTS
+        )
+
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={getattr(self, k) * 1e3:.3f}ms" for k in COMPONENTS)
         return f"Breakdown({parts})"

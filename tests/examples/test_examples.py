@@ -3,9 +3,6 @@
 import importlib.util
 import pathlib
 import random
-import sys
-
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
@@ -29,10 +26,12 @@ class TestQuickstart:
 
 
 class TestCrashRecovery:
-    def test_main_runs_all_three_stories(self, capsys):
+    def test_main_runs_all_four_stories(self, capsys):
         load("crash_recovery").main()
         out = capsys.readouterr().out
         assert out.count("intact: True") == 2
+        assert "injected power loss at physical write" in out
+        assert "consistent: True" in out
         assert "rolled-forward data: safe" in out
         assert "safe (NVRAM)" in out
         assert "lost (volatile DRAM)" in out

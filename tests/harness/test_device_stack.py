@@ -1,0 +1,115 @@
+"""build_stack's interposer threading: config flags, the process-wide
+default, the metrics registry, and metrics-vs-recorder agreement on the
+Figure 9 breakdown."""
+
+import pytest
+
+from repro.blockdev.interpose import (
+    FaultDevice,
+    FaultPlan,
+    InterposeOptions,
+    MetricsDevice,
+    TracingDevice,
+    core_device,
+    find_layer,
+)
+from repro.blockdev.regular import RegularDisk
+from repro.harness.configs import (
+    StackConfig,
+    build_stack,
+    drain_metrics_stacks,
+    set_default_interpose,
+)
+from repro.sim.stats import COMPONENTS
+from repro.vlog.vld import VirtualLogDisk
+from repro.workloads.random_update import prepare_file, run_random_updates
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    set_default_interpose(None)
+    drain_metrics_stacks()
+    yield
+    set_default_interpose(None)
+    drain_metrics_stacks()
+
+
+def _config(**kwargs):
+    return StackConfig(
+        "ufs-regular", "ufs", "regular", num_cylinders=2, **kwargs
+    )
+
+
+class TestConfigFlags:
+    def test_no_flags_builds_bare_device(self):
+        _fs, _disk, device = build_stack(_config())
+        assert isinstance(device, RegularDisk)
+
+    def test_metrics_flag_wraps_and_registers(self):
+        _fs, _disk, device = build_stack(_config(metrics=True))
+        assert isinstance(device, MetricsDevice)
+        registry = drain_metrics_stacks()
+        assert [name for name, _ in registry] == ["ufs-regular"]
+        assert registry[0][1] is device
+
+    def test_trace_and_fault_flags(self):
+        config = _config(trace=True, faults=FaultPlan(seed=1))
+        _fs, _disk, device = build_stack(config)
+        assert isinstance(device, TracingDevice)
+        assert find_layer(device, FaultDevice) is not None
+        assert drain_metrics_stacks() == []
+
+    def test_vld_config_keeps_vld_core(self):
+        config = StackConfig(
+            "ufs-vld", "ufs", "vld", num_cylinders=2, metrics=True
+        )
+        _fs, _disk, device = build_stack(config)
+        assert isinstance(core_device(device), VirtualLogDisk)
+
+    def test_process_default_applies_to_every_stack(self):
+        set_default_interpose(InterposeOptions(metrics=True))
+        _fs, _disk, device = build_stack(_config())
+        assert isinstance(device, MetricsDevice)
+        assert len(drain_metrics_stacks()) == 1
+
+    def test_explicit_override_beats_default(self):
+        set_default_interpose(InterposeOptions(metrics=True))
+        _fs, _disk, device = build_stack(
+            _config(), interpose=InterposeOptions()
+        )
+        assert isinstance(device, RegularDisk)
+
+    def test_fs_still_works_through_the_stack(self):
+        fs, _disk, device = build_stack(_config(metrics=True, trace=True))
+        fs.create("/f")
+        fs.write("/f", 0, b"payload", sync=True)
+        data, _ = fs.read("/f", 0, 7)
+        assert data == b"payload"
+        assert find_layer(device, MetricsDevice).total_ops > 0
+
+
+class TestFigure9FromHistograms:
+    def test_metrics_fractions_match_recorder_fractions(self):
+        """The Figure 9 breakdown regenerated from the MetricsDevice's
+        histograms agrees with the workload's own per-call accounting."""
+        config = StackConfig(
+            "ufs-vld", "ufs", "vld", num_cylinders=2, metrics=True
+        )
+        fs, _disk, device = build_stack(config)
+        metrics = find_layer(device, MetricsDevice)
+        file_bytes = 64 * 4096
+        prepare_file(fs, "/target", file_bytes)
+        recorder = run_random_updates(
+            fs, "/target", file_bytes, updates=40, warmup=10,
+            on_measure_start=metrics.reset,
+        )
+        from_metrics = metrics.component_fractions()
+        from_recorder = recorder.component_fractions()
+        for name in COMPONENTS:
+            assert from_metrics[name] == pytest.approx(
+                from_recorder[name], abs=1e-6
+            )
+        # And the absolute time agrees, not just the shape.
+        assert sum(metrics.component_totals().values()) == pytest.approx(
+            recorder.total_time
+        )

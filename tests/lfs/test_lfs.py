@@ -8,7 +8,6 @@ from repro.fs.api import (
     DirectoryNotEmpty,
     FileExists,
     FileNotFound,
-    IsADirectory,
     NoSpace,
 )
 from repro.lfs.lfs import LFS

@@ -1,0 +1,102 @@
+"""OpCounters and LatencyHistogram: the accounting primitives the Disk
+and the MetricsDevice interposer share."""
+
+import pytest
+
+from repro.sim.metrics import LatencyHistogram, OpCounters
+
+
+class TestOpCounters:
+    def test_starts_at_zero(self):
+        c = OpCounters()
+        assert c.as_dict() == {
+            "reads": 0, "writes": 0, "sectors_read": 0,
+            "sectors_written": 0, "busy_time": 0.0,
+        }
+
+    def test_note_read_and_write(self):
+        c = OpCounters()
+        c.note_read(8, 0.004)
+        c.note_write(16, 0.002)
+        c.note_write(8, 0.001)
+        assert c.reads == 1 and c.sectors_read == 8
+        assert c.writes == 2 and c.sectors_written == 24
+        assert c.busy_time == pytest.approx(0.007)
+
+    def test_reset(self):
+        c = OpCounters()
+        c.note_read(8, 0.004)
+        c.reset()
+        assert c.reads == 0 and c.busy_time == 0.0
+
+    def test_repr_readable(self):
+        c = OpCounters()
+        c.note_write(8, 0.5)
+        assert "writes=1" in repr(c)
+
+
+class TestLatencyHistogram:
+    def test_exact_count_and_sum(self):
+        h = LatencyHistogram()
+        for v in (0.001, 0.002, 0.004):
+            h.record(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.007)
+        assert h.mean() == pytest.approx(0.007 / 3)
+
+    def test_log2_bucketing(self):
+        h = LatencyHistogram()  # base 1us
+        h.record(1.5e-6)   # [1us, 2us)  -> bucket 0
+        h.record(3e-6)     # [2us, 4us)  -> bucket 1
+        h.record(3.9e-6)
+        assert h.buckets == {0: 1, 1: 2}
+
+    def test_underflow_bucket(self):
+        h = LatencyHistogram()
+        h.record(0.0)
+        h.record(5e-7)
+        assert h.buckets == {-1: 2}
+        assert h.sum == pytest.approx(5e-7)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(base=0.0)
+
+    def test_percentile_is_bucket_upper_edge(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(1.5e-6)  # bucket 0, upper edge 2us
+        h.record(1e-3)        # a single slow outlier
+        assert h.percentile(0.5) == pytest.approx(2e-6)
+        assert h.percentile(1.0) >= 1e-3
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+        assert LatencyHistogram().percentile(0.5) == 0.0
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(1.5e-6)
+        b.record(1.5e-6)
+        b.record(1e-3)
+        a.merge(b)
+        assert a.count == 3
+        assert a.buckets[0] == 2
+
+    def test_merge_rejects_mismatched_base(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(base=1e-6).merge(LatencyHistogram(base=1e-3))
+
+    def test_as_dict_keys_are_readable(self):
+        h = LatencyHistogram()
+        h.record(1.5e-6)
+        assert h.as_dict() == {"<2us": 1}
+
+    def test_reset(self):
+        h = LatencyHistogram()
+        h.record(1.0)
+        h.reset()
+        assert h.count == 0 and h.sum == 0.0 and h.buckets == {}

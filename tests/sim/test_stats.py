@@ -47,6 +47,31 @@ class TestBreakdown:
         c.charge("scsi", 1.0)
         assert a.scsi == pytest.approx(1.0)
 
+    def test_equality_is_component_wise(self):
+        a = Breakdown(scsi=1.0, locate=2.0)
+        assert a == Breakdown(scsi=1.0, locate=2.0)
+        assert a != Breakdown(scsi=1.0, locate=2.5)
+        assert a == a.copy()
+
+    def test_equality_with_other_types(self):
+        assert Breakdown() != "not a breakdown"
+        assert Breakdown() != 0.0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Breakdown())
+
+    def test_isclose_tolerates_float_accumulation_order(self):
+        a = Breakdown()
+        for _ in range(10):
+            a.charge("scsi", 0.1)
+        b = Breakdown(scsi=1.0)
+        assert a != b  # exact equality is strict...
+        assert a.isclose(b)  # ...isclose is not
+
+    def test_repr_shows_milliseconds(self):
+        assert "scsi=1.000ms" in repr(Breakdown(scsi=0.001))
+
 
 class TestLatencyRecorder:
     def test_empty_recorder_mean_zero(self):

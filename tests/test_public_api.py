@@ -1,7 +1,5 @@
 """The README's front-door code paths, kept honest."""
 
-import pytest
-
 import repro
 
 

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.sim.stats import Breakdown
 from repro.ufs.fsck import fsck
 
