@@ -1,0 +1,344 @@
+"""Hot-path microbenchmarks and the perf-regression gate.
+
+Measures the simulator's hottest paths -- the ones every eagerly-written
+block pays for (Section 4.2's per-write free-space query):
+
+* ``free_run_query``    -- ``FreeSpaceMap.nearest_free_run`` latency on a
+  fragmented drive, measured for both the bitmap map and the seed's
+  per-sector ``ReferenceFreeSpaceMap`` (their ratio is the PR's headline
+  speedup).
+* ``mark_roundtrip``    -- ``mark_used``/``mark_free`` accounting.
+* ``allocator_throughput`` -- end-to-end ``EagerAllocator`` allocate/free
+  cycles under the paper's TRACK_FILL policy.
+* ``compactor_pass``    -- blocks moved per wall-second by the idle-time
+  free-space compactor on a fragmented VLD.
+
+Wall-clock numbers are useless across machines, so every metric is also
+recorded *normalized*: divided by the throughput of a fixed pure-Python
+calibration loop run in the same process.  The committed baseline
+(``benchmarks/BENCH_hotpath.json``) stores the normalized scores; CI
+re-runs the suite and fails when any normalized score regresses by more
+than the tolerance (25 %), or when the bitmap-vs-reference speedup falls
+below the 3x floor this PR establishes.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py                      # print + emit
+    python benchmarks/bench_hotpath.py --json out.json      # choose output
+    python benchmarks/bench_hotpath.py \
+        --check benchmarks/BENCH_hotpath.json --tolerance 0.25
+
+Also collected by pytest (``pytest benchmarks/bench_hotpath.py``) as a
+smoke test asserting the speedup floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.disk.disk import Disk
+from repro.disk.freemap import FreeSpaceMap, ReferenceFreeSpaceMap
+from repro.disk.geometry import DiskGeometry
+from repro.disk.specs import ST19101
+from repro.vlog.allocator import AllocationPolicy, EagerAllocator
+from repro.vlog.vld import VirtualLogDisk
+
+#: Bump when the metric set or workload shapes change incompatibly.
+SCHEMA = 1
+
+#: Metrics the regression gate compares (all normalized ops/sec,
+#: higher is better).
+GATED_METRICS = (
+    "free_run_query",
+    "mark_roundtrip",
+    "allocator_throughput",
+    "compactor_pass",
+)
+
+#: Minimum bitmap-vs-reference speedup on the free-run query (the PR's
+#: acceptance floor).
+SPEEDUP_FLOOR = 3.0
+
+
+def _best_of(repeats: int, fn: Callable[[], float]) -> float:
+    """Run ``fn`` (which returns ops/sec) ``repeats`` times, keep the best
+    -- the standard noise-rejection for microbenchmarks."""
+    return max(fn() for _ in range(repeats))
+
+
+def calibration_ops_per_sec(loops: int = 300_000, repeats: int = 3) -> float:
+    """Fixed pure-Python integer workload; the machine-speed yardstick all
+    metrics are normalized against."""
+
+    def once() -> float:
+        start = time.perf_counter()
+        acc = 0
+        for i in range(loops):
+            acc = (acc + i * i) & 0xFFFFFFFF
+        elapsed = time.perf_counter() - start
+        assert acc >= 0
+        return loops / elapsed
+
+    return _best_of(repeats, once)
+
+
+def _fragmented_map(map_cls, utilization: float = 0.75, seed: int = 0xF5EE):
+    """A freemap over the paper's simulated Cheetah slice with randomly
+    scattered used 8-sector blocks -- the regime eager writing queries
+    live in (occupancy is block-granular because the allocator is)."""
+    geometry = DiskGeometry(ST19101)
+    freemap = map_cls(geometry)
+    rng = random.Random(seed)
+    blocks = geometry.total_sectors // 8
+    for block in rng.sample(range(blocks), int(blocks * utilization)):
+        freemap.mark_used(block * 8, 8)
+    return geometry, freemap
+
+
+def bench_free_run_query(
+    map_cls=FreeSpaceMap, queries: int = 4000, repeats: int = 3
+) -> float:
+    """ops/sec of ``nearest_free_run`` (count=8, align=8 -- the VLD's
+    4 KB-block query) over random tracks and fractional arrival slots."""
+    geometry, freemap = _fragmented_map(map_cls)
+    rng = random.Random(0xA110C)
+    tracks = [
+        (cylinder, head)
+        for cylinder in range(geometry.num_cylinders)
+        for head in range(geometry.tracks_per_cylinder)
+    ]
+    plan = [
+        (*rng.choice(tracks), rng.random() * geometry.sectors_per_track)
+        for _ in range(queries)
+    ]
+
+    def once() -> float:
+        start = time.perf_counter()
+        hits = 0
+        for cylinder, head, slot in plan:
+            if freemap.nearest_free_run(cylinder, head, slot, 8, align=8):
+                hits += 1
+        elapsed = time.perf_counter() - start
+        assert hits > 0
+        return queries / elapsed
+
+    return _best_of(repeats, once)
+
+
+def bench_mark_roundtrip(rounds: int = 4000, repeats: int = 3) -> float:
+    """ops/sec of mark_used+mark_free pairs on 8-sector runs."""
+    geometry = DiskGeometry(ST19101)
+    freemap = FreeSpaceMap(geometry)
+    rng = random.Random(0x3A5C)
+    starts = [
+        rng.randrange(0, geometry.total_sectors - 8) for _ in range(rounds)
+    ]
+
+    def once() -> float:
+        start = time.perf_counter()
+        for s in starts:
+            freemap.mark_used(s, 8)
+            freemap.mark_free(s, 8)
+        elapsed = time.perf_counter() - start
+        return rounds / elapsed
+
+    return _best_of(repeats, once)
+
+
+def bench_allocator_throughput(cycles: int = 3000, repeats: int = 3) -> float:
+    """ops/sec of allocate+free cycles through the TRACK_FILL eager
+    allocator at ~70 % standing utilization."""
+    disk = Disk(ST19101, store_data=False)
+    freemap = FreeSpaceMap(disk.geometry)
+    allocator = EagerAllocator(
+        disk, freemap, block_sectors=8, policy=AllocationPolicy.TRACK_FILL
+    )
+    rng = random.Random(0xEA6E)
+    standing = int(disk.total_sectors // 8 * 0.70)
+    held = [allocator.allocate() for _ in range(standing)]
+
+    def once() -> float:
+        start = time.perf_counter()
+        for _ in range(cycles):
+            block = allocator.allocate()
+            held.append(block)
+            allocator.free_block(held.pop(rng.randrange(len(held))))
+        elapsed = time.perf_counter() - start
+        return cycles / elapsed
+
+    return _best_of(repeats, once)
+
+
+def bench_compactor_pass(repeats: int = 2) -> float:
+    """Blocks moved per wall-second compacting a freshly fragmented VLD."""
+
+    def once() -> float:
+        disk = Disk(ST19101, num_cylinders=4)
+        vld = VirtualLogDisk(disk)
+        rng = random.Random(0xC0DE)
+        population = rng.sample(range(vld.num_blocks), int(vld.num_blocks * 0.55))
+        for lba in population:
+            vld.write_blocks(lba, 1)
+        # Punch holes: rewrite a third of them so old copies scatter frees.
+        for lba in population[:: 3]:
+            vld.write_blocks(lba, 1)
+        before = vld.compactor.blocks_moved
+        start = time.perf_counter()
+        vld.idle(0.5)  # half a simulated second of compaction
+        elapsed = time.perf_counter() - start
+        moved = vld.compactor.blocks_moved - before
+        assert moved > 0, "compactor found no work; workload shape broken"
+        return moved / elapsed
+
+    return _best_of(repeats, once)
+
+
+def run_suite() -> Dict:
+    """Run every metric; returns the BENCH_hotpath.json payload."""
+    calibration = calibration_ops_per_sec()
+    raw = {
+        "free_run_query": bench_free_run_query(FreeSpaceMap),
+        "free_run_query_reference": bench_free_run_query(
+            ReferenceFreeSpaceMap, queries=400
+        ),
+        "mark_roundtrip": bench_mark_roundtrip(),
+        "allocator_throughput": bench_allocator_throughput(),
+        "compactor_pass": bench_compactor_pass(),
+    }
+    return {
+        "schema": SCHEMA,
+        "calibration_ops_per_sec": calibration,
+        "raw_ops_per_sec": raw,
+        "normalized": {
+            name: raw[name] / calibration for name in GATED_METRICS
+        },
+        "speedup": {
+            "free_run_query": raw["free_run_query"]
+            / raw["free_run_query_reference"]
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+    }
+
+
+def compare_to_baseline(
+    result: Dict, baseline: Dict, tolerance: float
+) -> list:
+    """Return a list of human-readable failures (empty == gate passes)."""
+    failures = []
+    if baseline.get("schema") != result["schema"]:
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')} vs "
+            f"current {result['schema']} -- re-record the baseline"
+        )
+        return failures
+    for name in GATED_METRICS:
+        base = baseline["normalized"].get(name)
+        if base is None:
+            failures.append(f"baseline missing metric {name!r}")
+            continue
+        current = result["normalized"][name]
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{name}: normalized {current:.3f} is below "
+                f"{floor:.3f} (baseline {base:.3f} - {tolerance:.0%})"
+            )
+    speedup = result["speedup"]["free_run_query"]
+    if speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"free_run_query speedup {speedup:.2f}x fell below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor vs the reference free map"
+        )
+    return failures
+
+
+def _print_report(result: Dict) -> None:
+    print(f"calibration: {result['calibration_ops_per_sec']:,.0f} loop-ops/s")
+    print(f"{'metric':<24} {'ops/sec':>14} {'normalized':>12}")
+    for name in GATED_METRICS:
+        print(
+            f"{name:<24} {result['raw_ops_per_sec'][name]:>14,.1f} "
+            f"{result['normalized'][name]:>12.3f}"
+        )
+    reference = result["raw_ops_per_sec"]["free_run_query_reference"]
+    print(f"{'free_run_query (ref)':<24} {reference:>14,.1f}")
+    print(
+        "free_run_query speedup vs reference map: "
+        f"{result['speedup']['free_run_query']:.1f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default="BENCH_hotpath.json",
+        help="where to write the results payload",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed baseline and exit nonzero on "
+        "regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression per normalized metric",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite()
+    _print_report(result)
+    with open(args.json, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = compare_to_baseline(result, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"perf gate passed (tolerance {args.tolerance:.0%} vs "
+            f"{args.check})"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (collected when running `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+
+
+def test_hotpath_speedup_floor(benchmark):
+    """The bitmap free map must hold its >=3x win over the per-sector map."""
+    from .conftest import run_once
+
+    fast = run_once(
+        benchmark, lambda: bench_free_run_query(FreeSpaceMap, queries=1500)
+    )
+    reference = bench_free_run_query(ReferenceFreeSpaceMap, queries=200)
+    speedup = fast / reference
+    print(f"\nfree_run_query: {fast:,.0f} ops/s vs reference "
+          f"{reference:,.0f} ops/s -> {speedup:.1f}x")
+    assert speedup >= SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    sys.exit(main())

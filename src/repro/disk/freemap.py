@@ -2,16 +2,92 @@
 
 The eager-writing allocator (Section 4.2) needs to answer: *starting from
 this angular position on this track, how many sector slots pass before an
-aligned run of free sectors starts?*  :class:`FreeSpaceMap` keeps a
-per-sector bitmap plus per-track and per-cylinder free counts so those
-queries stay cheap even when called per write.
+aligned run of free sectors starts?*  :class:`FreeSpaceMap` keeps one
+integer bitmask per track (bit ``s`` set means sector-in-track ``s`` is
+free) plus per-track and per-cylinder free counts, so those queries run as
+a handful of big-int bit operations rather than a Python loop over
+sectors -- this is the hottest path of the whole simulator, exercised once
+(or more) per eagerly-written block.
+
+The run-finding trick: folding ``mask &= mask >> k`` with doubling shifts
+leaves bit ``s`` set exactly when sectors ``s .. s+count-1`` are all free,
+and because the shift feeds zeros in from the top, starts whose run would
+cross the end of the track drop out automatically (runs never wrap a track
+boundary, matching the allocator's no-straddle rule).  Counters are kept
+incrementally with popcounts of the changed bits.
+
+:class:`ReferenceFreeSpaceMap` is the original straightforward per-sector
+implementation, preserved as the oracle for the property tests and as the
+"before" side of the ``bench_hotpath`` speedup measurement.  (The one
+deliberate behaviour change from the seed implementation: the old
+``gap < align`` early exit in ``nearest_free_run`` was *wrong* whenever
+``align`` does not divide ``sectors_per_track`` -- candidate gaps are then
+not all congruent modulo ``align``, so a sub-``align`` gap need not be the
+minimum.  Both classes now return the true angular minimum; the property
+tests pin them to a brute-force oracle.)
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.disk.geometry import DiskGeometry
+
+try:  # int.bit_count is Python >= 3.10; keep the 3.9 floor working.
+    (0).bit_count
+
+    def _popcount(x: int) -> int:
+        return x.bit_count()
+
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
+
+
+def fold_free_runs(mask: int, count: int) -> int:
+    """Bit ``s`` of the result is set iff bits ``s .. s+count-1`` of
+    ``mask`` are all set (doubling-shift fold; zeros shifted in from the
+    top kill starts whose run would overrun the mask's width)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    have = 1
+    while have < count and mask:
+        step = min(have, count - have)
+        mask &= mask >> step
+        have += step
+    return mask
+
+
+def lowest_set_bit(mask: int) -> int:
+    """Index of the least-significant set bit (``mask`` must be nonzero)."""
+    return (mask & -mask).bit_length() - 1
+
+
+def nearest_set_bit(mask: int, n: int, phase: int) -> Optional[int]:
+    """The cyclically nearest set bit of an ``n``-bit mask at or after
+    ``phase`` (an integer slot); ``None`` when the mask is empty."""
+    if mask == 0:
+        return None
+    ahead = mask >> phase
+    if ahead:
+        return phase + lowest_set_bit(ahead)
+    return lowest_set_bit(mask)
+
+
+#: ``(n, align) -> int with bits at 0, align, 2*align, ... < n`` cache.
+_ALIGN_MASKS: dict = {}
+
+
+def _aligned_starts_mask(n: int, align: int) -> int:
+    key = (n, align)
+    mask = _ALIGN_MASKS.get(key)
+    if mask is None:
+        mask = 0
+        for s in range(0, n, align):
+            mask |= 1 << s
+        _ALIGN_MASKS[key] = mask
+    return mask
 
 
 class FreeSpaceMap:
@@ -22,10 +98,22 @@ class FreeSpaceMap:
 
     def __init__(self, geometry: DiskGeometry) -> None:
         self.geometry = geometry
-        self._free = bytearray(b"\x01" * geometry.total_sectors)
+        n = geometry.sectors_per_track
+        self._n = n
+        self._track_full_mask = (1 << n) - 1
         n_tracks = geometry.num_cylinders * geometry.tracks_per_cylinder
-        per_track = geometry.sectors_per_track
-        self._track_free: List[int] = [per_track] * n_tracks
+        #: One bitmask per track; bit ``s`` set == sector-in-track ``s`` free.
+        self._masks: List[int] = [self._track_full_mask] * n_tracks
+        self._track_free: List[int] = [n] * n_tracks
+        # Geometry is immutable, so the per-track skew and first-sector
+        # tables can be burned in once; ``nearest_free_run`` is hot enough
+        # that recomputing them per query shows up in profiles.
+        tracks_per_cyl = geometry.tracks_per_cylinder
+        self._skews: List[int] = [
+            geometry.skew_offset(idx // tracks_per_cyl, idx % tracks_per_cyl)
+            for idx in range(n_tracks)
+        ]
+        self._bases: List[int] = [idx * n for idx in range(n_tracks)]
         self._cyl_free: List[int] = [
             geometry.sectors_per_cylinder
         ] * geometry.num_cylinders
@@ -40,7 +128,8 @@ class FreeSpaceMap:
 
     def is_free(self, sector: int) -> bool:
         self.geometry.check_sector(sector)
-        return bool(self._free[sector])
+        track, offset = divmod(sector, self._n)
+        return bool((self._masks[track] >> offset) & 1)
 
     def run_is_free(self, sector: int, count: int) -> bool:
         """True when all of ``sector .. sector+count-1`` are free."""
@@ -48,24 +137,40 @@ class FreeSpaceMap:
             raise ValueError("count must be positive")
         self.geometry.check_sector(sector)
         self.geometry.check_sector(sector + count - 1)
-        return all(self._free[sector : sector + count])
+        n = self._n
+        while count > 0:
+            track, offset = divmod(sector, n)
+            span = min(n - offset, count)
+            segment = ((1 << span) - 1) << offset
+            if self._masks[track] & segment != segment:
+                return False
+            sector += span
+            count -= span
+        return True
 
     def _set(self, sector: int, count: int, free: bool) -> None:
         if count <= 0:
             raise ValueError("count must be positive")
         self.geometry.check_sector(sector)
         self.geometry.check_sector(sector + count - 1)
-        per_cyl = self.geometry.sectors_per_cylinder
-        per_track = self.geometry.sectors_per_track
-        value = 1 if free else 0
-        for s in range(sector, sector + count):
-            if self._free[s] == value:
-                continue
-            self._free[s] = value
-            delta = 1 if free else -1
-            self._track_free[s // per_track] += delta
-            self._cyl_free[s // per_cyl] += delta
-            self.free_sectors += delta
+        n = self._n
+        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        while count > 0:
+            track, offset = divmod(sector, n)
+            span = min(n - offset, count)
+            segment = ((1 << span) - 1) << offset
+            old = self._masks[track]
+            new = (old | segment) if free else (old & ~segment)
+            if new != old:
+                delta = _popcount(new ^ old)
+                if not free:
+                    delta = -delta
+                self._masks[track] = new
+                self._track_free[track] += delta
+                self._cyl_free[track // tracks_per_cyl] += delta
+                self.free_sectors += delta
+            sector += span
+            count -= span
 
     def mark_used(self, sector: int, count: int = 1) -> None:
         """Mark a run of sectors as occupied."""
@@ -94,6 +199,14 @@ class FreeSpaceMap:
     # Rotational queries (the heart of eager writing)
     # ------------------------------------------------------------------
 
+    def _run_starts(self, track_idx: int, count: int, align: int) -> int:
+        """Bitmask of sector-in-track positions where an aligned free run of
+        ``count`` sectors starts (no wrap past the end of the track)."""
+        starts = fold_free_runs(self._masks[track_idx], count)
+        if align > 1 and starts:
+            starts &= _aligned_starts_mask(self._n, align)
+        return starts
+
     def nearest_free_run(
         self,
         cylinder: int,
@@ -118,28 +231,75 @@ class FreeSpaceMap:
         """
         if count <= 0 or align <= 0:
             raise ValueError("count and align must be positive")
-        geometry = self.geometry
-        n = geometry.sectors_per_track
+        self.geometry.check_track(cylinder, head)
+        n = self._n
         if count > n:
             return None
-        track_idx = self._track_index(cylinder, head)
+        track_idx = cylinder * self.geometry.tracks_per_cylinder + head
         if self._track_free[track_idx] < count:
             return None
-        base = geometry.track_start(cylinder, head)
-        skew = geometry.skew_offset(cylinder, head)
-        best: Optional[Tuple[float, int]] = None
-        for sect in range(0, n - count + 1, align):
-            linear = base + sect
-            if not all(self._free[linear : linear + count]):
-                continue
-            angle = (sect + skew) % n
-            gap = (angle - start_slot) % n
-            if best is None or gap < best[0]:
-                best = (gap, linear)
-                if gap < align:
-                    # Cannot do better than landing within one aligned slot.
-                    break
-        return best
+        # Inlined fold / align-filter / rotate / nearest-bit sequence --
+        # this method is the simulator's hottest, and in CPython the helper
+        # calls cost more than the big-int ops they wrap.
+        mask = self._masks[track_idx]
+        have = 1
+        while have < count and mask:
+            step = have if have < count - have else count - have
+            mask &= mask >> step
+            have += step
+        if align > 1 and mask:
+            amask = _ALIGN_MASKS.get((n, align))
+            if amask is None:
+                amask = _aligned_starts_mask(n, align)
+            mask &= amask
+        if mask == 0:
+            return None
+        # Rotate the start set into angle space, then take the first set
+        # bit at or (cyclically) after the head's arrival slot.
+        skew = self._skews[track_idx]
+        if skew:
+            mask = ((mask << skew) | (mask >> (n - skew))) & self._track_full_mask
+        slot = start_slot % n
+        phase = int(slot)
+        if phase != slot:
+            phase += 1
+            if phase == n:
+                phase = 0
+        ahead = mask >> phase
+        if ahead:
+            angle = phase + ((ahead & -ahead).bit_length() - 1)
+        else:
+            angle = (mask & -mask).bit_length() - 1
+        gap = (angle - start_slot) % n
+        sect = angle - skew
+        if sect < 0:
+            sect += n
+        return gap, self._bases[track_idx] + sect
+
+    def has_aligned_run(
+        self, cylinder: int, head: int, count: int, align: int = 1
+    ) -> bool:
+        """Cheap existence test: would :meth:`nearest_free_run` succeed?"""
+        if count <= 0 or align <= 0:
+            raise ValueError("count and align must be positive")
+        self.geometry.check_track(cylinder, head)
+        if count > self._n:
+            return False
+        track_idx = self._track_index(cylinder, head)
+        if self._track_free[track_idx] < count:
+            return False
+        return self._run_starts(track_idx, count, align) != 0
+
+    def cylinder_has_run(self, cylinder: int, count: int, align: int = 1) -> bool:
+        """True when any track of the cylinder holds an aligned free run --
+        the batch pre-check the allocator's cylinder sweep uses to skip
+        fragmented cylinders without pricing every track."""
+        if self.cylinder_free_count(cylinder) < count:
+            return False
+        return any(
+            self.has_aligned_run(cylinder, head, count, align)
+            for head in range(self.geometry.tracks_per_cylinder)
+        )
 
     def nearest_free_in_cylinder(
         self,
@@ -175,9 +335,253 @@ class FreeSpaceMap:
                 best = (gap, linear, head)
         return best
 
-    def free_sector_iter(self, cylinder: int, head: int):
-        """Yield linear sector numbers of free sectors on one track."""
+    # ------------------------------------------------------------------
+    # Track scans (compactor / reorganizer helpers)
+    # ------------------------------------------------------------------
+
+    def free_sector_iter(self, cylinder: int, head: int) -> Iterator[int]:
+        """Yield linear sector numbers of the sectors currently free on one
+        track (a snapshot: mutations during iteration are not reflected)."""
+        base = self.geometry.track_start(cylinder, head)
+        mask = self._masks[self._track_index(cylinder, head)]
+        while mask:
+            low = mask & -mask
+            yield base + low.bit_length() - 1
+            mask &= mask - 1
+
+    def next_used_on_track(
+        self, cylinder: int, head: int, start_offset: int = 0
+    ) -> Optional[int]:
+        """Linear sector number of the first *used* sector at or after
+        ``start_offset`` on the track, or ``None`` when the rest of the
+        track is free.  Reads live state, so a scan that frees or fills
+        sectors as it goes (the compactor) sees its own effects."""
+        self.geometry.check_track(cylinder, head)
+        if not 0 <= start_offset <= self._n:
+            raise ValueError(f"start offset {start_offset} out of range")
+        track_idx = self._track_index(cylinder, head)
+        used = (~self._masks[track_idx] & self._track_full_mask) >> start_offset
+        if used == 0:
+            return None
+        return (
+            self.geometry.track_start(cylinder, head)
+            + start_offset
+            + lowest_set_bit(used)
+        )
+
+    def find_empty_track(self, start_cylinder: int = 0) -> Optional[Tuple[int, int]]:
+        """Nearest completely empty track, sweeping cylinders upward from
+        ``start_cylinder`` (wrapping) -- the track-fill allocator's scan,
+        answered from the counters alone."""
+        geometry = self.geometry
+        per_track = self._n
+        total = geometry.num_cylinders
+        for offset in range(total):
+            cylinder = (start_cylinder + offset) % total
+            if self._cyl_free[cylinder] < per_track:
+                continue
+            base = cylinder * geometry.tracks_per_cylinder
+            for head in range(geometry.tracks_per_cylinder):
+                if self._track_free[base + head] == per_track:
+                    return cylinder, head
+        return None
+
+    def tracks_by_free_count(
+        self, minimum_free: int = 1
+    ) -> List[Tuple[int, int, int]]:
+        """``(free_count, cylinder, head)`` for every track holding at least
+        ``minimum_free`` free sectors, sorted most-free first (ties in track
+        order).  Lets callers visit candidate tracks best-first and stop at
+        the first success instead of pricing every track on the disk."""
+        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        ranked = [
+            (free, idx // tracks_per_cyl, idx % tracks_per_cyl)
+            for idx, free in enumerate(self._track_free)
+            if free >= minimum_free
+        ]
+        ranked.sort(key=lambda item: (-item[0], item[1], item[2]))
+        return ranked
+
+
+class ReferenceFreeSpaceMap:
+    """Per-sector brute-force free map: the seed implementation, kept as
+    the property-test oracle and the baseline :mod:`bench_hotpath` measures
+    the bitmap implementation against.
+
+    Identical public API and answers to :class:`FreeSpaceMap` (the buggy
+    ``gap < align`` early exit of the original was removed -- see the
+    module docstring), at the original O(sectors) cost per query.
+    """
+
+    def __init__(self, geometry: DiskGeometry) -> None:
+        self.geometry = geometry
+        self._free = bytearray(b"\x01" * geometry.total_sectors)
+        n_tracks = geometry.num_cylinders * geometry.tracks_per_cylinder
+        per_track = geometry.sectors_per_track
+        self._track_free: List[int] = [per_track] * n_tracks
+        self._cyl_free: List[int] = [
+            geometry.sectors_per_cylinder
+        ] * geometry.num_cylinders
+        self.free_sectors = geometry.total_sectors
+
+    def _track_index(self, cylinder: int, head: int) -> int:
+        return cylinder * self.geometry.tracks_per_cylinder + head
+
+    def is_free(self, sector: int) -> bool:
+        self.geometry.check_sector(sector)
+        return bool(self._free[sector])
+
+    def run_is_free(self, sector: int, count: int) -> bool:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+        return all(self._free[sector : sector + count])
+
+    def _set(self, sector: int, count: int, free: bool) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+        per_cyl = self.geometry.sectors_per_cylinder
+        per_track = self.geometry.sectors_per_track
+        value = 1 if free else 0
+        for s in range(sector, sector + count):
+            if self._free[s] == value:
+                continue
+            self._free[s] = value
+            delta = 1 if free else -1
+            self._track_free[s // per_track] += delta
+            self._cyl_free[s // per_cyl] += delta
+            self.free_sectors += delta
+
+    def mark_used(self, sector: int, count: int = 1) -> None:
+        self._set(sector, count, free=False)
+
+    def mark_free(self, sector: int, count: int = 1) -> None:
+        self._set(sector, count, free=True)
+
+    def track_free_count(self, cylinder: int, head: int) -> int:
+        self.geometry.check_track(cylinder, head)
+        return self._track_free[self._track_index(cylinder, head)]
+
+    def cylinder_free_count(self, cylinder: int) -> int:
+        if not 0 <= cylinder < self.geometry.num_cylinders:
+            raise ValueError(f"cylinder {cylinder} out of range")
+        return self._cyl_free[cylinder]
+
+    @property
+    def utilization(self) -> float:
+        total = self.geometry.total_sectors
+        return (total - self.free_sectors) / total
+
+    def nearest_free_run(
+        self,
+        cylinder: int,
+        head: int,
+        start_slot: float,
+        count: int,
+        align: int = 1,
+    ) -> Optional[Tuple[float, int]]:
+        if count <= 0 or align <= 0:
+            raise ValueError("count and align must be positive")
+        geometry = self.geometry
+        n = geometry.sectors_per_track
+        if count > n:
+            return None
+        geometry.check_track(cylinder, head)
+        track_idx = self._track_index(cylinder, head)
+        if self._track_free[track_idx] < count:
+            return None
+        base = geometry.track_start(cylinder, head)
+        skew = geometry.skew_offset(cylinder, head)
+        best: Optional[Tuple[float, int]] = None
+        for sect in range(0, n - count + 1, align):
+            linear = base + sect
+            if not all(self._free[linear : linear + count]):
+                continue
+            angle = (sect + skew) % n
+            gap = (angle - start_slot) % n
+            if best is None or gap < best[0]:
+                best = (gap, linear)
+        return best
+
+    def has_aligned_run(
+        self, cylinder: int, head: int, count: int, align: int = 1
+    ) -> bool:
+        if count <= 0 or align <= 0:
+            raise ValueError("count and align must be positive")
+        return self.nearest_free_run(cylinder, head, 0.0, count, align) is not None
+
+    def cylinder_has_run(self, cylinder: int, count: int, align: int = 1) -> bool:
+        if self.cylinder_free_count(cylinder) < count:
+            return False
+        return any(
+            self.has_aligned_run(cylinder, head, count, align)
+            for head in range(self.geometry.tracks_per_cylinder)
+        )
+
+    def nearest_free_in_cylinder(
+        self,
+        cylinder: int,
+        current_head: int,
+        start_slot: float,
+        count: int,
+        align: int = 1,
+        head_switch_slots: float = 0.0,
+    ) -> Optional[Tuple[float, int, int]]:
+        best: Optional[Tuple[float, int, int]] = None
+        n = self.geometry.sectors_per_track
+        for head in range(self.geometry.tracks_per_cylinder):
+            found = self.nearest_free_run(cylinder, head, start_slot, count, align)
+            if found is None:
+                continue
+            gap, linear = found
+            if head != current_head and gap < head_switch_slots:
+                gap += n
+            if best is None or gap < best[0]:
+                best = (gap, linear, head)
+        return best
+
+    def free_sector_iter(self, cylinder: int, head: int) -> Iterator[int]:
         base = self.geometry.track_start(cylinder, head)
         for offset in range(self.geometry.sectors_per_track):
             if self._free[base + offset]:
                 yield base + offset
+
+    def next_used_on_track(
+        self, cylinder: int, head: int, start_offset: int = 0
+    ) -> Optional[int]:
+        self.geometry.check_track(cylinder, head)
+        if not 0 <= start_offset <= self.geometry.sectors_per_track:
+            raise ValueError(f"start offset {start_offset} out of range")
+        base = self.geometry.track_start(cylinder, head)
+        for offset in range(start_offset, self.geometry.sectors_per_track):
+            if not self._free[base + offset]:
+                return base + offset
+        return None
+
+    def find_empty_track(self, start_cylinder: int = 0) -> Optional[Tuple[int, int]]:
+        geometry = self.geometry
+        per_track = geometry.sectors_per_track
+        total = geometry.num_cylinders
+        for offset in range(total):
+            cylinder = (start_cylinder + offset) % total
+            if self.cylinder_free_count(cylinder) < per_track:
+                continue
+            for head in range(geometry.tracks_per_cylinder):
+                if self.track_free_count(cylinder, head) == per_track:
+                    return cylinder, head
+        return None
+
+    def tracks_by_free_count(
+        self, minimum_free: int = 1
+    ) -> List[Tuple[int, int, int]]:
+        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        ranked = [
+            (free, idx // tracks_per_cyl, idx % tracks_per_cyl)
+            for idx, free in enumerate(self._track_free)
+            if free >= minimum_free
+        ]
+        ranked.sort(key=lambda item: (-item[0], item[1], item[2]))
+        return ranked

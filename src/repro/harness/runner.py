@@ -4,10 +4,9 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.disk.disk import Disk
-from repro.disk.freemap import FreeSpaceMap
+from repro.disk.freemap import FreeSpaceMap, nearest_set_bit
 from repro.disk.specs import DiskSpec
 from repro.vlog.allocator import AllocationPolicy, EagerAllocator
 
@@ -88,22 +87,17 @@ def simulate_track_fill(
     total = 0.0
     writes = 0
     for _ in range(trials):
-        free = [True] * n
+        # One free-slot bitmask per track fill, searched with the same
+        # bit-twiddling primitive the production free map uses.
+        free_mask = (1 << n) - 1
         for _write in range(writes_per_track):
             # Arrivals are random but the head engages at a sector
             # boundary, matching the model's whole-sector accounting.
             phase = rng.randrange(n)
-            best_gap: Optional[float] = None
-            for slot in range(n):
-                if not free[slot]:
-                    continue
-                gap = (slot - phase) % n
-                if best_gap is None or gap < best_gap:
-                    best_gap = gap
-            assert best_gap is not None
-            chosen = int((phase + best_gap) % n)
-            free[chosen] = False
-            total += best_gap * sector_time
+            chosen = nearest_set_bit(free_mask, n, phase)
+            assert chosen is not None
+            free_mask &= ~(1 << chosen)
+            total += ((chosen - phase) % n) * sector_time
             writes += 1
         total += spec.head_switch_time  # switch to the next empty track
     return total / writes

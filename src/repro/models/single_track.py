@@ -46,15 +46,19 @@ def expected_skip_recurrence(n: int, k: int) -> float:
 
     Provided both as an independent check of the closed form (8) and for
     exact small-track computations.  Raises when ``k`` is zero (a full track
-    has no free sector to find).
+    has no free sector to find).  Evaluated bottom-up from the ``E(k, k) = 0``
+    base case -- the same floating-point operations, in the same order, as
+    the naive recursion, without its O(n) stack depth (large-``n`` drive
+    projections used to hit the recursion limit re-deriving free counts).
     """
     if n <= 0:
         raise ValueError("n must be positive")
     if not 0 < k <= n:
         raise ValueError("k must satisfy 0 < k <= n")
-    if k == n:
-        return 0.0
-    return (n - k) / n * (1.0 + expected_skip_recurrence(n - 1, k))
+    expectation = 0.0
+    for m in range(k + 1, n + 1):
+        expectation = (m - k) / m * (1.0 + expectation)
+    return expectation
 
 
 def expected_block_locate_sectors(n: int, p: float, logical: int, physical: int) -> float:

@@ -149,7 +149,11 @@ class EagerAllocator:
             seek = mechanics.seek_time(disk.head_cylinder, cylinder)
             if best_cost is not None and seek >= best_cost:
                 break  # farther cylinders can only be worse
-            if self.freemap.cylinder_free_count(cylinder) < self.block_sectors:
+            if not self.freemap.cylinder_has_run(
+                cylinder, self.block_sectors, self.block_sectors
+            ):
+                # Batch pre-check on the bitmap: enough free sectors *and*
+                # at least one aligned run, without pricing every track.
                 continue
             arrival_slot = disk.slot_after(seek)
             found = self.freemap.nearest_free_in_cylinder(
@@ -210,7 +214,9 @@ class EagerAllocator:
             self._sweep_cylinder = (disk.head_cylinder + 1) % total
         cursor = self._sweep_cylinder
         for _ in range(total):
-            if self.freemap.cylinder_free_count(cursor) >= self.block_sectors:
+            if self.freemap.cylinder_has_run(
+                cursor, self.block_sectors, self.block_sectors
+            ):
                 seek = disk.mechanics.seek_time(disk.head_cylinder, cursor)
                 arrival = disk.slot_after(seek)
                 found = self.freemap.nearest_free_in_cylinder(
@@ -266,15 +272,4 @@ class EagerAllocator:
 
     def _next_empty_track(self) -> Optional[Tuple[int, int]]:
         """Nearest completely empty track, sweeping one direction."""
-        geometry = self.disk.geometry
-        per_track = geometry.sectors_per_track
-        total = geometry.num_cylinders
-        start = self.disk.head_cylinder
-        for offset in range(total):
-            cylinder = (start + offset) % total
-            if self.freemap.cylinder_free_count(cylinder) < per_track:
-                continue
-            for head in range(geometry.tracks_per_cylinder):
-                if self.freemap.track_free_count(cylinder, head) == per_track:
-                    return cylinder, head
-        return None
+        return self.freemap.find_empty_track(self.disk.head_cylinder)

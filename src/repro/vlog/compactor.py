@@ -103,9 +103,16 @@ class FreeSpaceCompactor:
             if clock.now >= deadline:
                 self._commit_moves(touched_chunks)
                 return False
-            if vld.freemap.is_free(sector):
-                sector += 1
-                continue
+            # Skip straight to the next occupied sector via the free map's
+            # track bitmap (live state: blocks this pass frees or the map
+            # allocator fills mid-scan are seen, exactly as the old
+            # one-sector-at-a-time walk did).
+            used = vld.freemap.next_used_on_track(
+                cylinder, head, sector - base_sector
+            )
+            if used is None:
+                break
+            sector = used
             block = sector // spb
             if sector % spb == 0 and block in vld.reverse:
                 # A 4 KB data block.

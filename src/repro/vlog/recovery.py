@@ -26,13 +26,32 @@ _RECORD = struct.Struct("<8sqqI")
 
 
 class PowerDownStore:
-    """The fixed-location record written by the firmware at power-down."""
+    """The fixed-location record written by the firmware at power-down.
 
-    def __init__(self, disk: Disk, block: int = 0, block_size: int = 4096) -> None:
+    Args:
+        disk: The drive the record lives on.
+        block: Which ``block_size`` unit houses the record.
+        block_size: Size of the record's home block in bytes.
+        tail_block_sectors: Sectors per *tail* block (the unit ``tail_block``
+            counts in -- the virtual log's map-record size, which may differ
+            from ``block_size``).  Used to bounds-check recovered tails
+            against the geometry; defaults to 1, the loosest sound bound.
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        block: int = 0,
+        block_size: int = 4096,
+        tail_block_sectors: int = 1,
+    ) -> None:
+        if tail_block_sectors <= 0:
+            raise ValueError("tail_block_sectors must be positive")
         self.disk = disk
         self.block = block
         self.block_size = block_size
         self.sectors_per_block = block_size // disk.sector_bytes
+        self.tail_block_sectors = tail_block_sectors
         self._sector = block * self.sectors_per_block
 
     def write(self, tail_block: int, seqno: int, timed: bool = True) -> Breakdown:
@@ -66,6 +85,13 @@ class PowerDownStore:
         if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
             return None, breakdown
         if tail < 0 or seqno < 0:
+            return None, breakdown
+        if (tail + 1) * self.tail_block_sectors > self.disk.total_sectors:
+            # A CRC-valid record naming a tail beyond the end of the disk
+            # (e.g. written for a larger device, or firmware scribble that
+            # happened to checksum) must not be trusted: reject it so
+            # recovery falls back to the scan path instead of chasing an
+            # unreadable block.
             return None, breakdown
         return (tail, seqno), breakdown
 
@@ -105,10 +131,21 @@ def scan_for_tail(
     breakdown = Breakdown()
     geometry = disk.geometry
     sectors_per_block = max(1, block_size // disk.sector_bytes)
-    blocks_per_track = geometry.sectors_per_track // sectors_per_block
+    total_blocks = geometry.total_sectors // sectors_per_block
     best_seqno = -1
     best_block: Optional[int] = None
     examined = 0
+    # Record positions are absolute: record ``b`` occupies sectors
+    # ``b*spb .. (b+1)*spb - 1``.  When the block size does not divide the
+    # track size, records straddle track boundaries, so track reads are
+    # stitched through a rolling buffer and every whole block on the disk
+    # is parsed from it.  (The seed implementation numbered blocks per
+    # track as ``track_start // spb + i`` -- only correct when track starts
+    # are block-aligned -- and silently never looked at each track's
+    # remainder sectors.)
+    pending = bytearray()
+    pending_base = 0  # byte offset of pending[0] from the start of the disk
+    next_block = 0
     for cylinder in range(geometry.num_cylinders):
         for head in range(geometry.tracks_per_cylinder):
             start = geometry.track_start(cylinder, head)
@@ -119,18 +156,27 @@ def scan_for_tail(
                 breakdown.add(cost)
             else:
                 raw = disk.peek(start, geometry.sectors_per_track)
-            for i in range(blocks_per_track):
-                block = start // sectors_per_block + i
+            pending += raw
+            while (
+                next_block < total_blocks
+                and (next_block + 1) * block_size - pending_base <= len(pending)
+            ):
+                block = next_block
+                next_block += 1
                 if block == skip_block:
                     continue
                 if (block + 1) * sectors_per_block <= skip_sectors:
                     continue
                 examined += 1
-                chunk = raw[i * block_size : (i + 1) * block_size]
-                record = MapRecord.unpack(chunk)
+                lo = block * block_size - pending_base
+                record = MapRecord.unpack(bytes(pending[lo : lo + block_size]))
                 if record is not None and record.seqno > best_seqno:
                     best_seqno = record.seqno
                     best_block = block
+            consumed = next_block * block_size - pending_base
+            if consumed > 0:
+                del pending[:consumed]
+                pending_base += consumed
     return best_block, breakdown, examined
 
 

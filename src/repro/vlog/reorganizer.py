@@ -16,7 +16,7 @@ exactly where contiguous extents fit.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.vlog.vld import VirtualLogDisk
 
@@ -90,26 +90,30 @@ class ReadReorganizer:
 
     def _find_contiguous_run(self, blocks: int) -> Optional[int]:
         """A free physical extent of ``blocks`` aligned blocks, preferring
-        empty tracks (which the compactor regenerates)."""
+        empty tracks (which the compactor regenerates).
+
+        Candidate tracks come pre-ranked most-free-first from the free
+        map's counters, so the scan prices only the best free-count tier
+        actually holding a run instead of every track on the disk."""
         vld = self.vld
-        geometry = vld.disk.geometry
         spb = vld.sectors_per_block
         need = blocks * spb
-        best: Optional[Tuple[int, int]] = None  # (free_count, sector)
-        for cylinder in range(geometry.num_cylinders):
-            for head in range(geometry.tracks_per_cylinder):
-                free = vld.freemap.track_free_count(cylinder, head)
-                if free < need:
-                    continue
+        ranked = vld.freemap.tracks_by_free_count(minimum_free=need)
+        i = 0
+        while i < len(ranked):
+            tier = ranked[i][0]
+            best: Optional[int] = None
+            while i < len(ranked) and ranked[i][0] == tier:
+                _free, cylinder, head = ranked[i]
+                i += 1
                 found = vld.freemap.nearest_free_run(
                     cylinder, head, 0.0, need, align=spb
                 )
-                if found is None:
-                    continue
-                key = (-free, found[1])
-                if best is None or key < best:
-                    best = key
-        return None if best is None else best[1]
+                if found is not None and (best is None or found[1] < best):
+                    best = found[1]
+            if best is not None:
+                return best
+        return None
 
     def _reorganize_window(self, lba: int) -> bool:
         """Rewrite one window contiguously; returns True when work was

@@ -111,7 +111,10 @@ class VirtualLogDisk(BlockDevice):
             block_size=map_record_bytes,
         )
         self.power_store = PowerDownStore(
-            disk, self.POWER_DOWN_BLOCK, block_size
+            disk,
+            self.POWER_DOWN_BLOCK,
+            block_size,
+            tail_block_sectors=map_record_bytes // disk.sector_bytes,
         )
         #: physical block -> logical block, for the compactor.
         self.reverse: Dict[int, int] = {}

@@ -96,3 +96,120 @@ class TestScanFallback:
             disk.mechanics.sector_time
         )
         assert cost.total >= min_transfer * 0.9
+
+
+def _tiny_unaligned_spec():
+    """12 sectors/track with 4 KB (8-sector) blocks: track starts are not
+    block-aligned, so map records straddle track boundaries and each track
+    carries a 4-sector remainder."""
+    from repro.disk.specs import DiskSpec
+
+    rpm = 10000.0
+    sector_time = (60.0 / rpm) / 12
+    return DiskSpec(
+        name="TINY12",
+        sectors_per_track=12,
+        tracks_per_cylinder=2,
+        num_cylinders=4,
+        sim_cylinders=4,
+        rpm=rpm,
+        head_switch_time=2 * sector_time,
+        scsi_overhead=1e-4,
+        sector_bytes=512,
+        seek_short_a=3e-4,
+        seek_short_b=2e-4,
+        seek_long_c=4e-3,
+        seek_long_e=8e-7,
+        seek_boundary=400,
+    )
+
+
+class TestScanUnalignedGeometry:
+    """scan_for_tail when sectors_per_track % sectors_per_block != 0.
+
+    The seed implementation numbered blocks per track as
+    ``track_start // spb + i`` (only valid for block-aligned track starts)
+    and never parsed each track's remainder sectors, so records straddling
+    a track boundary or sitting in the remainder were invisible.
+    """
+
+    def _plant(self, disk, block, seqno):
+        record = MapRecord(chunk_id=0, seqno=seqno, entries=[seqno])
+        disk.poke(block * 8, record.pack(4096))
+
+    def test_examines_every_whole_block(self):
+        disk = Disk(_tiny_unaligned_spec())
+        assert disk.total_sectors == 96
+        _tail, _cost, examined = scan_for_tail(disk, timed=False)
+        assert examined == disk.total_sectors // 8  # 12, not the seed's 8
+
+    def test_finds_record_straddling_a_track_boundary(self):
+        disk = Disk(_tiny_unaligned_spec())
+        # Block 4 = sectors 32..39; tracks are 12 sectors, so it straddles
+        # the boundary at sector 36.
+        self._plant(disk, 4, seqno=10)
+        tail, _cost, _n = scan_for_tail(disk, timed=False)
+        assert tail == 4
+
+    def test_finds_youngest_across_remainder_regions(self):
+        disk = Disk(_tiny_unaligned_spec())
+        self._plant(disk, 4, seqno=10)
+        # Block 11 = sectors 88..95, inside the last track (84..95) but
+        # past the last old per-track parse window (84..91).
+        self._plant(disk, 11, seqno=20)
+        tail, _cost, _n = scan_for_tail(disk, timed=False)
+        assert tail == 11
+
+    def test_skip_block_and_skip_sectors_still_honoured(self):
+        disk = Disk(_tiny_unaligned_spec())
+        self._plant(disk, 0, seqno=99)
+        self._plant(disk, 4, seqno=5)
+        tail, _cost, examined = scan_for_tail(
+            disk, skip_block=0, skip_sectors=8, timed=False
+        )
+        assert tail == 4
+        assert examined == disk.total_sectors // 8 - 1
+
+    def test_timed_scan_matches_untimed_answer(self):
+        disk = Disk(_tiny_unaligned_spec())
+        self._plant(disk, 4, seqno=10)
+        self._plant(disk, 11, seqno=20)
+        tail, cost, _n = scan_for_tail(disk, timed=True)
+        assert tail == 11
+        assert cost.total > 0.0
+
+
+class TestTailGeometryValidation:
+    """A CRC-valid power-down record must still name a tail on the disk."""
+
+    def test_tail_beyond_disk_rejected(self, disk):
+        store = PowerDownStore(disk, 0, 4096, tail_block_sectors=1)
+        store.write(disk.total_sectors, 3, timed=False)
+        record, _ = store.read(timed=False)
+        assert record is None
+
+    def test_boundary_tail_blocks(self, disk):
+        store = PowerDownStore(disk, 0, 4096, tail_block_sectors=8)
+        last_valid = disk.total_sectors // 8 - 1
+        store.write(last_valid, 3, timed=False)
+        assert store.read(timed=False)[0] == (last_valid, 3)
+        store.write(last_valid + 1, 3, timed=False)
+        assert store.read(timed=False)[0] is None
+
+    def test_vld_falls_back_to_scan_on_bogus_tail(self):
+        """End to end: a planted out-of-range (but checksummed) record must
+        route recovery through the scan path, not crash the traversal."""
+        from repro.vlog.vld import VirtualLogDisk
+
+        disk = Disk(ST19101, num_cylinders=2)
+        vld = VirtualLogDisk(disk)
+        payload = b"\x5a" * vld.block_size
+        vld.write_block(0, payload)
+        vld.write_block(1, b"\xa5" * vld.block_size)
+        # Firmware scribble: CRC-valid record pointing far past the disk.
+        vld.power_store.write(10**9, 999, timed=False)
+        vld.crash()
+        outcome = vld.recover(timed=False)
+        assert outcome.scanned
+        assert not outcome.used_power_down_record
+        assert vld.read_block(0)[0] == payload
