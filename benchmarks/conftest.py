@@ -7,11 +7,21 @@ the reproduction itself is also tracked.
 
 Set ``REPRO_BENCH_FULL=1`` for paper-scale workloads (slower); the default
 scale preserves every shape at a fraction of the runtime.
+
+The experiment sweeps honour the harness's parallel/caching engine here
+too: ``--sweep-jobs N`` fans each figure's grid points across ``N``
+worker processes (env fallback ``REPRO_BENCH_JOBS``), ``--sweep-cache
+DIR`` memoizes point results content-addressed on code+params,
+``--sweep-no-cache`` forces recomputation, and ``--sweep-cache-stats``
+prints hit/miss totals at the end of the session.
 """
 
 import os
 
 import pytest
+
+from repro.harness import sweep
+from repro.harness.cache import ResultCache
 
 
 def full_scale() -> bool:
@@ -26,3 +36,41 @@ def scale():
 def run_once(benchmark, fn):
     """Run a heavy experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("sweep", "experiment sweep execution")
+    group.addoption(
+        "--sweep-jobs", type=int, metavar="N",
+        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        help="worker processes per experiment sweep (default: 1)",
+    )
+    group.addoption(
+        "--sweep-cache", metavar="DIR", default=None,
+        help="content-addressed result cache directory (default: off)",
+    )
+    group.addoption(
+        "--sweep-no-cache", action="store_true",
+        help="bypass the sweep result cache even if --sweep-cache is set",
+    )
+    group.addoption(
+        "--sweep-cache-stats", action="store_true",
+        help="print sweep cache/executor statistics after the session",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_defaults(request):
+    jobs = max(1, request.config.getoption("--sweep-jobs"))
+    cache_dir = request.config.getoption("--sweep-cache")
+    cache = (
+        ResultCache(cache_dir)
+        if cache_dir and not request.config.getoption("--sweep-no-cache")
+        else None
+    )
+    sweep.reset_stats()
+    with sweep.configured(jobs=jobs, cache=cache):
+        yield
+    if request.config.getoption("--sweep-cache-stats"):
+        stats = sweep.reset_stats()
+        print(f"\n[sweep] {stats.summary()}")

@@ -25,6 +25,19 @@ from repro.sim.clock import SimClock
 from repro.sim.metrics import OpCounters
 from repro.sim.stats import Breakdown
 
+#: Shared all-zero page for data-less writes, grown on demand.  Slicing
+#: a memoryview of it costs O(1); materializing ``bytes(n)`` per write
+#: does not.
+_ZERO_PAGE = bytes(1 << 16)
+
+
+def _zeros(n: int) -> memoryview:
+    """A read-only view of ``n`` zero bytes, without allocating per call."""
+    global _ZERO_PAGE
+    if len(_ZERO_PAGE) < n:
+        _ZERO_PAGE = bytes(max(n, 2 * len(_ZERO_PAGE)))
+    return memoryview(_ZERO_PAGE)[:n]
+
 
 class Disk:
     """A simulated rotating disk.
@@ -209,7 +222,7 @@ class Disk:
         if self._data is not None:
             lo = sector * self.sector_bytes
             payload = (
-                data if data is not None else bytes(count * self.sector_bytes)
+                data if data is not None else _zeros(count * self.sector_bytes)
             )
             self._data[lo : lo + len(payload)] = payload
         self.cache.note_write(sector, count)

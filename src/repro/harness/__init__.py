@@ -3,7 +3,9 @@ table and figure of the evaluation (Section 5)."""
 
 from repro.harness.configs import StackConfig, build_stack, STACKS
 from repro.harness import experiments
+from repro.harness.cache import ResultCache
 from repro.harness.report import format_table, series_to_csv
+from repro.harness.sweep import SweepPoint, run_sweep
 
 __all__ = [
     "StackConfig",
@@ -12,4 +14,7 @@ __all__ = [
     "experiments",
     "format_table",
     "series_to_csv",
+    "ResultCache",
+    "SweepPoint",
+    "run_sweep",
 ]

@@ -9,10 +9,19 @@ operation, ``--metrics`` prints a per-stack op/latency summary after each
 experiment, and ``--faults SPEC`` injects deterministic device faults
 (``SPEC`` like ``crash_after=40,torn=0.05,seed=7``).
 
+Sweep flags control how each experiment's grid of independent points is
+executed: ``--jobs N`` fans the points out across ``N`` worker
+processes, ``--cache DIR`` (default ``.sweep-cache``) memoizes each
+point's result under a content-addressed key so re-running an unchanged
+figure is near-instant (any source edit invalidates transparently),
+``--no-cache`` disables the cache, and ``--cache-stats`` prints
+hit/miss/submission counts after each experiment.
+
 Examples::
 
     python -m repro.harness table1 figure1
-    python -m repro.harness --full figure8
+    python -m repro.harness --full --jobs 4 figure8
+    python -m repro.harness --jobs 2 --cache-stats
     python -m repro.harness --metrics table2
     python -m repro.harness --trace /tmp/ops.jsonl figure6
     python -m repro.harness --faults crash_after=500 figure6
@@ -26,7 +35,8 @@ import sys
 import time
 
 from repro.blockdev.interpose import DeviceCrashed, FaultPlan, InterposeOptions
-from repro.harness import configs, experiments
+from repro.harness import configs, experiments, sweep
+from repro.harness.cache import ResultCache
 from repro.harness.report import format_table
 from repro.sim.stats import COMPONENTS
 
@@ -164,11 +174,24 @@ def main(argv=None) -> int:
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="inject device faults, e.g. "
                              "'crash_after=40,torn=0.05,seed=7'")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per experiment sweep "
+                             "(default: 1, inline)")
+    parser.add_argument("--cache", metavar="DIR", default=".sweep-cache",
+                        help="content-addressed result cache directory "
+                             "(default: .sweep-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, bypassing the cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print sweep cache/executor statistics after "
+                             "each experiment")
     args = parser.parse_args(argv)
 
     if args.list:
         print("\n".join(_ALL))
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     if args.trace or args.metrics or args.faults:
         try:
             faults = FaultPlan.parse(args.faults) if args.faults else None
@@ -180,27 +203,49 @@ def main(argv=None) -> int:
             metrics=args.metrics,
             faults=faults,
         ))
+        # Per-process observability (trace files, the metrics registry)
+        # does not survive the worker boundary, and injected faults make
+        # results configuration-dependent in ways the cache key does not
+        # see -- fall back to inline, uncached execution.
+        if args.jobs > 1:
+            print("[sweep: --trace/--metrics/--faults force --jobs 1]",
+                  file=sys.stderr)
+            args.jobs = 1
+        if not args.no_cache:
+            print("[sweep: interposer flags disable the result cache]",
+                  file=sys.stderr)
+            args.no_cache = True
+    cache = None if args.no_cache else ResultCache(args.cache)
     names = args.names or _ALL
     overrides = _FULL if args.full else _QUICK
-    for name in names:
-        if name not in _ALL:
-            print(f"unknown experiment {name!r}; try --list",
-                  file=sys.stderr)
-            return 2
-        fn = getattr(experiments, name)
-        kwargs = overrides.get(name, {})
-        start = time.time()
-        try:
-            result = fn(**kwargs)
-        except DeviceCrashed as crash:
-            print(f"[{name} aborted: injected device crash: {crash}]\n",
-                  file=sys.stderr)
+    with sweep.configured(jobs=args.jobs, cache=cache):
+        for name in names:
+            if name not in _ALL:
+                print(f"unknown experiment {name!r}; try --list",
+                      file=sys.stderr)
+                return 2
+            fn = getattr(experiments, name)
+            kwargs = overrides.get(name, {})
+            start = time.time()
+            try:
+                result = fn(**kwargs)
+            except DeviceCrashed as crash:
+                print(f"[{name} aborted: injected device crash: {crash}]\n",
+                      file=sys.stderr)
+                _report_metrics(args)
+                return 3
+            _print_result(name, result)
+            print(f"[{name} regenerated in "
+                  f"{time.time() - start:.1f}s wall]\n")
+            _report_sweep_stats(args, name)
             _report_metrics(args)
-            return 3
-        _print_result(name, result)
-        print(f"[{name} regenerated in {time.time() - start:.1f}s wall]\n")
-        _report_metrics(args)
     return 0
+
+
+def _report_sweep_stats(args, name: str) -> None:
+    stats = sweep.reset_stats()
+    if args.cache_stats and stats.points:
+        print(f"  [sweep {name}] {stats.summary()}\n")
 
 
 def _report_metrics(args) -> None:

@@ -5,16 +5,26 @@ the *shape* of the results (who wins, by what factor, where crossovers
 fall) without depending on formatting.  ``scale`` trades fidelity for
 runtime: 1.0 reproduces the paper's workload sizes; smaller values shrink
 file counts / update counts proportionally (used by the test suite).
+
+Each experiment's grid is declared as a list of
+:class:`~repro.harness.sweep.SweepPoint` -- a pure, picklable spec naming
+a module-level point function below (``_point_*`` / ``_figure8_point``)
+-- and executed by :func:`~repro.harness.sweep.run_sweep`, which fans the
+points out across worker processes (``--jobs``) and memoizes each one in
+the content-addressed result cache (``--cache``).  Point functions derive
+all randomness from their explicit ``seed`` argument, so results are
+identical at any parallelism and on cache replay.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.blockdev.interpose import MetricsDevice, find_layer
 from repro.disk.specs import DISKS, HP97560, ST19101
 from repro.harness.configs import STACKS, StackConfig, build_stack, utilization_of
 from repro.harness.runner import simulate_locate_free, simulate_track_fill
+from repro.harness.sweep import SweepPoint, sweep_values, warn_dropped
 from repro.models.compactor import average_latency_closed_form
 from repro.models.cylinder import cylinder_expected_latency
 from repro.sim.stats import COMPONENTS
@@ -24,6 +34,15 @@ from repro.workloads.random_update import prepare_file, run_random_updates
 from repro.workloads.smallfile import run_small_file
 
 _MB = 1 << 20
+
+#: Module path every point spec resolves against.
+_HERE = "repro.harness.experiments"
+
+#: The workloads' historical default seeds, made explicit so they sit in
+#: every point spec (and therefore in every cache key).
+_UPDATE_SEED = 0xF168
+_BURST_SEED = 0xB025
+_LARGEFILE_SEED = 0x10C5
 
 
 # ======================================================================
@@ -49,6 +68,14 @@ def table1() -> Dict[str, Dict[str, float]]:
 # Figure 1: time to locate a free sector vs free space
 # ======================================================================
 
+def _point_locate_free(
+    *, seed: int, disk_name: str, free_fraction: float, trials: int
+) -> float:
+    return simulate_locate_free(
+        DISKS[disk_name], free_fraction, trials=trials, seed=seed
+    )
+
+
 def figure1(
     fractions: Optional[Sequence[float]] = None,
     trials: int = 300,
@@ -57,17 +84,30 @@ def figure1(
     """Model vs simulation of free-sector locate time, both disks."""
     if fractions is None:
         fractions = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    specs = (HP97560, ST19101)
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_locate_free",
+            {
+                "disk_name": spec.name.lower(),
+                "free_fraction": p,
+                "trials": trials,
+            },
+            seed,
+        )
+        for spec in specs
+        for p in fractions
+    ]
+    simulated = sweep_values(points)
     result: Dict[str, Dict[str, List[float]]] = {}
-    for spec in (HP97560, ST19101):
-        model = [cylinder_expected_latency(spec, p) for p in fractions]
-        simulated = [
-            simulate_locate_free(spec, p, trials=trials, seed=seed)
-            for p in fractions
-        ]
+    for i, spec in enumerate(specs):
+        chunk = simulated[i * len(fractions) : (i + 1) * len(fractions)]
         result[spec.name] = {
             "free_fraction": list(fractions),
-            "model_seconds": model,
-            "simulated_seconds": simulated,
+            "model_seconds": [
+                cylinder_expected_latency(spec, p) for p in fractions
+            ],
+            "simulated_seconds": chunk,
         }
     return result
 
@@ -75,6 +115,14 @@ def figure1(
 # ======================================================================
 # Figure 2: latency vs track-switch threshold
 # ======================================================================
+
+def _point_track_fill(
+    *, seed: int, disk_name: str, threshold: float, trials: int
+) -> float:
+    return simulate_track_fill(
+        DISKS[disk_name], threshold, trials=trials, seed=seed
+    )
+
 
 def figure2(
     thresholds: Optional[Sequence[float]] = None,
@@ -88,11 +136,25 @@ def figure2(
     """
     if thresholds is None:
         thresholds = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    specs = (HP97560, ST19101)
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_track_fill",
+            {
+                "disk_name": spec.name.lower(),
+                "threshold": threshold,
+                "trials": trials,
+            },
+            seed,
+        )
+        for spec in specs
+        for threshold in thresholds
+    ]
+    simulated = sweep_values(points)
     result: Dict[str, Dict[str, List[float]]] = {}
-    for spec in (HP97560, ST19101):
+    for i, spec in enumerate(specs):
         n = spec.sectors_per_track
         model = []
-        simulated = []
         for threshold in thresholds:
             m = max(0, min(n - 1, int(round(threshold * n))))
             model.append(
@@ -100,13 +162,12 @@ def figure2(
                     n, m, spec.head_switch_time, spec.sector_time
                 )
             )
-            simulated.append(
-                simulate_track_fill(spec, threshold, trials=trials, seed=seed)
-            )
         result[spec.name] = {
             "threshold": list(thresholds),
             "model_seconds": model,
-            "simulated_seconds": simulated,
+            "simulated_seconds": simulated[
+                i * len(thresholds) : (i + 1) * len(thresholds)
+            ],
         }
     return result
 
@@ -115,22 +176,40 @@ def figure2(
 # Figure 6: small-file create/read/delete
 # ======================================================================
 
+def _point_smallfile(
+    *, seed: int, stack: str, disk_name: str, host_name: str, num_files: int
+) -> Dict[str, float]:
+    del seed  # the small-file workload is deterministic
+    config = STACKS[stack].with_platform(disk_name, host_name)
+    fs, _disk, _device = build_stack(config)
+    outcome = run_small_file(fs, num_files=num_files)
+    return {
+        "create": outcome.create_seconds,
+        "read": outcome.read_seconds,
+        "delete": outcome.delete_seconds,
+    }
+
+
 def figure6(
     num_files: int = 1500,
     disk_name: str = "st19101",
     host_name: str = "sparc10",
 ) -> Dict[str, Dict[str, float]]:
     """Per-stack phase times, plus normalisation to UFS-on-regular."""
-    raw: Dict[str, Dict[str, float]] = {}
-    for name, base in STACKS.items():
-        config = base.with_platform(disk_name, host_name)
-        fs, _disk, _device = build_stack(config)
-        outcome = run_small_file(fs, num_files=num_files)
-        raw[name] = {
-            "create": outcome.create_seconds,
-            "read": outcome.read_seconds,
-            "delete": outcome.delete_seconds,
-        }
+    stacks = list(STACKS)
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_smallfile",
+            {
+                "stack": name,
+                "disk_name": disk_name,
+                "host_name": host_name,
+                "num_files": num_files,
+            },
+        )
+        for name in stacks
+    ]
+    raw = dict(zip(stacks, sweep_values(points)))
     baseline = raw["ufs-regular"]
     normalized = {
         name: {
@@ -146,28 +225,78 @@ def figure6(
 # Figure 7: large-file bandwidths
 # ======================================================================
 
+def _point_largefile(
+    *, seed: int, stack: str, disk_name: str, host_name: str, file_mb: float
+) -> Dict[str, float]:
+    config = STACKS[stack].with_platform(disk_name, host_name)
+    fs, _disk, _device = build_stack(config)
+    outcome = run_large_file(
+        fs,
+        file_bytes=int(file_mb * _MB),
+        include_sync_phase=config.fs_type == "ufs",
+        seed=seed,
+    )
+    return dict(outcome.bandwidths)
+
+
 def figure7(
     file_mb: float = 10.0,
     disk_name: str = "st19101",
     host_name: str = "sparc10",
 ) -> Dict[str, Dict[str, float]]:
     """Per-stack bandwidths for the six large-file phases (MB/s)."""
-    result: Dict[str, Dict[str, float]] = {}
-    for name, base in STACKS.items():
-        config = base.with_platform(disk_name, host_name)
-        fs, _disk, _device = build_stack(config)
-        outcome = run_large_file(
-            fs,
-            file_bytes=int(file_mb * _MB),
-            include_sync_phase=config.fs_type == "ufs",
+    stacks = list(STACKS)
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_largefile",
+            {
+                "stack": name,
+                "disk_name": disk_name,
+                "host_name": host_name,
+                "file_mb": file_mb,
+            },
+            _LARGEFILE_SEED,
         )
-        result[name] = dict(outcome.bandwidths)
-    return result
+        for name in stacks
+    ]
+    return dict(zip(stacks, sweep_values(points)))
 
 
 # ======================================================================
 # Figure 8: random synchronous updates vs disk utilization
 # ======================================================================
+
+def _figure8_point(
+    *,
+    seed: int,
+    name: str,
+    fs_type: str,
+    device_type: str,
+    disk_name: str,
+    host_name: str,
+    nvram: bool,
+    file_mb: float,
+    updates: int,
+    warmup: int,
+) -> Optional[List[float]]:
+    """One (system, file size) point: ``[utilization, latency]``, or
+    ``None`` when the file does not fit (the caller warns and drops)."""
+    from repro.fs.api import NoSpace
+
+    config = StackConfig(
+        name, fs_type, device_type, disk_name, host_name, nvram=nvram
+    )
+    fs, _disk, device = build_stack(config)
+    file_bytes = int(file_mb * _MB)
+    try:
+        prepare_file(fs, "/target", file_bytes)
+        recorder = run_random_updates(
+            fs, "/target", file_bytes, updates, warmup=warmup, seed=seed
+        )
+    except NoSpace:
+        return None
+    return [utilization_of(fs, device), recorder.mean()]
+
 
 def figure8(
     file_mbs: Optional[Sequence[float]] = None,
@@ -198,18 +327,36 @@ def figure8(
             nvram=True,
         ),
     }
-    result: Dict[str, Dict[str, List[float]]] = {}
+    points = []
     for name, config in systems.items():
+        lfs = config.fs_type == "lfs"
+        for file_mb in file_mbs:
+            points.append(SweepPoint(
+                f"{_HERE}:_figure8_point",
+                {
+                    "name": name,
+                    "fs_type": config.fs_type,
+                    "device_type": config.device_type,
+                    "disk_name": disk_name,
+                    "host_name": host_name,
+                    "nvram": config.nvram,
+                    "file_mb": file_mb,
+                    "updates": lfs_updates if lfs else updates,
+                    "warmup": lfs_warmup if lfs else warmup,
+                },
+                _UPDATE_SEED,
+            ))
+    values = iter(sweep_values(points))
+    result: Dict[str, Dict[str, List[float]]] = {}
+    for name in systems:
         utilizations: List[float] = []
         latencies: List[float] = []
         for file_mb in file_mbs:
-            if config.fs_type == "lfs":
-                point = _figure8_point(
-                    config, file_mb, lfs_updates, lfs_warmup
-                )
-            else:
-                point = _figure8_point(config, file_mb, updates, warmup)
+            point = next(values)
             if point is None:
+                warn_dropped(
+                    "figure8", stack=name, file_mb=file_mb, cause="NoSpace"
+                )
                 continue
             utilization, latency = point
             utilizations.append(utilization)
@@ -221,23 +368,6 @@ def figure8(
     return result
 
 
-def _figure8_point(
-    config: StackConfig, file_mb: float, updates: int, warmup: int
-):
-    from repro.fs.api import NoSpace
-
-    fs, _disk, device = build_stack(config)
-    file_bytes = int(file_mb * _MB)
-    try:
-        prepare_file(fs, "/target", file_bytes)
-        recorder = run_random_updates(
-            fs, "/target", file_bytes, updates, warmup=warmup
-        )
-    except NoSpace:
-        return None
-    return utilization_of(fs, device), recorder.mean()
-
-
 # ======================================================================
 # Table 2 and Figure 9: technology trends and latency breakdown
 # ======================================================================
@@ -247,6 +377,54 @@ PLATFORMS = (
     ("st19101", "sparc10"),
     ("st19101", "ultra170"),
 )
+
+
+def _point_table2(
+    *,
+    seed: int,
+    disk_name: str,
+    host_name: str,
+    device_type: str,
+    utilization: float,
+    updates: int,
+    warmup: int,
+    compact_seconds: float,
+    from_metrics: bool,
+) -> Dict[str, Any]:
+    """One (platform, device) cell: mean latency plus the component
+    fractions backing Figure 9."""
+    spec = DISKS[disk_name]
+    capacity = (
+        spec.sim_cylinders
+        * spec.tracks_per_cylinder
+        * spec.sectors_per_track
+        * spec.sector_bytes
+    )
+    file_bytes = int(utilization * capacity)
+    config = StackConfig(
+        f"ufs-{device_type}", "ufs", device_type, disk_name,
+        host_name, metrics=from_metrics,
+    )
+    fs, _disk, device = build_stack(config)
+    metrics = find_layer(device, MetricsDevice)
+    prepare_file(fs, "/target", file_bytes)
+    # Footnote 1 of the paper: "The VLD latency in this case is
+    # measured immediately after running a compactor."  Idle time
+    # lets the compactor consolidate free space into empty tracks
+    # (a no-op on the regular disk).
+    device.idle(compact_seconds)
+    recorder = run_random_updates(
+        fs, "/target", file_bytes, updates, warmup=warmup, seed=seed,
+        on_measure_start=(
+            metrics.reset if metrics is not None else None
+        ),
+    )
+    fractions = (
+        metrics.component_fractions()
+        if metrics is not None
+        else recorder.component_fractions()
+    )
+    return {"latency": recorder.mean(), "fractions": dict(fractions)}
 
 
 def table2(
@@ -266,53 +444,42 @@ def table2(
     inferred from the clock gaps between device operations -- rather
     than from the per-call breakdowns the workload accumulates.
     """
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_table2",
+            {
+                "disk_name": disk_name,
+                "host_name": host_name,
+                "device_type": device_type,
+                "utilization": utilization,
+                "updates": updates,
+                "warmup": warmup,
+                "compact_seconds": compact_seconds,
+                "from_metrics": from_metrics,
+            },
+            _UPDATE_SEED,
+        )
+        for disk_name, host_name in PLATFORMS
+        for device_type in ("regular", "vld")
+    ]
+    values = iter(sweep_values(points))
     result: Dict[str, Dict[str, float]] = {}
     for disk_name, host_name in PLATFORMS:
-        spec = DISKS[disk_name]
-        capacity = (
-            spec.sim_cylinders
-            * spec.tracks_per_cylinder
-            * spec.sectors_per_track
-            * spec.sector_bytes
-        )
-        file_bytes = int(utilization * capacity)
-        latencies = {}
-        fractions = {}
-        for device_type in ("regular", "vld"):
-            config = StackConfig(
-                f"ufs-{device_type}", "ufs", device_type, disk_name,
-                host_name, metrics=from_metrics,
-            )
-            fs, _disk, device = build_stack(config)
-            metrics = find_layer(device, MetricsDevice)
-            prepare_file(fs, "/target", file_bytes)
-            # Footnote 1 of the paper: "The VLD latency in this case is
-            # measured immediately after running a compactor."  Idle time
-            # lets the compactor consolidate free space into empty tracks
-            # (a no-op on the regular disk).
-            device.idle(compact_seconds)
-            recorder = run_random_updates(
-                fs, "/target", file_bytes, updates, warmup=warmup,
-                on_measure_start=(
-                    metrics.reset if metrics is not None else None
-                ),
-            )
-            latencies[device_type] = recorder.mean()
-            fractions[device_type] = (
-                metrics.component_fractions()
-                if metrics is not None
-                else recorder.component_fractions()
-            )
-        key = f"{disk_name}+{host_name}"
+        cells = {
+            device_type: next(values)
+            for device_type in ("regular", "vld")
+        }
         entry: Dict[str, float] = {
-            "update_in_place_ms": latencies["regular"] * 1e3,
-            "virtual_log_ms": latencies["vld"] * 1e3,
-            "speedup": latencies["regular"] / latencies["vld"],
+            "update_in_place_ms": cells["regular"]["latency"] * 1e3,
+            "virtual_log_ms": cells["vld"]["latency"] * 1e3,
+            "speedup": cells["regular"]["latency"] / cells["vld"]["latency"],
         }
         for component in COMPONENTS:
-            entry[f"regular_{component}"] = fractions["regular"][component]
-            entry[f"vld_{component}"] = fractions["vld"][component]
-        result[key] = entry
+            for device_type in ("regular", "vld"):
+                entry[f"{device_type}_{component}"] = (
+                    cells[device_type]["fractions"][component]
+                )
+        result[f"{disk_name}+{host_name}"] = entry
     return result
 
 
@@ -382,14 +549,21 @@ def figure11(
     )
 
 
-def _idle_sweep(
-    config: StackConfig,
-    burst_kbs: Sequence[int],
-    idle_seconds: Sequence[float],
+def _point_idle_burst(
+    *,
+    seed: int,
+    name: str,
+    fs_type: str,
+    device_type: str,
+    disk_name: str,
+    host_name: str,
+    nvram: bool,
     utilization: float,
+    burst_kb: int,
+    idle: float,
     bursts: int,
-) -> Dict[str, Dict[str, List[float]]]:
-    spec = DISKS[config.disk_name]
+) -> float:
+    spec = DISKS[disk_name]
     capacity = (
         spec.sim_cylinders
         * spec.tracks_per_cylinder
@@ -397,21 +571,54 @@ def _idle_sweep(
         * spec.sector_bytes
     )
     file_bytes = int(utilization * capacity)
+    config = StackConfig(
+        name, fs_type, device_type, disk_name, host_name, nvram=nvram
+    )
+    fs, _disk, _device = build_stack(config)
+    prepare_file(fs, "/target", file_bytes)
+    recorder = run_bursts(
+        fs,
+        "/target",
+        file_bytes,
+        burst_bytes=burst_kb << 10,
+        idle_seconds=idle,
+        bursts=bursts,
+        seed=seed,
+    )
+    return recorder.mean()
+
+
+def _idle_sweep(
+    config: StackConfig,
+    burst_kbs: Sequence[int],
+    idle_seconds: Sequence[float],
+    utilization: float,
+    bursts: int,
+) -> Dict[str, Dict[str, List[float]]]:
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_idle_burst",
+            {
+                "name": config.name,
+                "fs_type": config.fs_type,
+                "device_type": config.device_type,
+                "disk_name": config.disk_name,
+                "host_name": config.host_name,
+                "nvram": config.nvram,
+                "utilization": utilization,
+                "burst_kb": burst_kb,
+                "idle": idle,
+                "bursts": bursts,
+            },
+            _BURST_SEED,
+        )
+        for burst_kb in burst_kbs
+        for idle in idle_seconds
+    ]
+    values = iter(sweep_values(points))
     result: Dict[str, Dict[str, List[float]]] = {}
     for burst_kb in burst_kbs:
-        latencies: List[float] = []
-        for idle in idle_seconds:
-            fs, _disk, _device = build_stack(config)
-            prepare_file(fs, "/target", file_bytes)
-            recorder = run_bursts(
-                fs,
-                "/target",
-                file_bytes,
-                burst_bytes=burst_kb << 10,
-                idle_seconds=idle,
-                bursts=bursts,
-            )
-            latencies.append(recorder.mean())
+        latencies = [next(values) for _ in idle_seconds]
         result[f"{burst_kb}K"] = {
             "idle_seconds": list(idle_seconds),
             "latency_ms": [v * 1e3 for v in latencies],
