@@ -41,7 +41,7 @@ import json
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Tuple, Type
+from typing import Callable, Dict, Iterator, Optional, Set, Tuple, Type
 
 from repro.blockdev.interface import BlockDevice
 from repro.blockdev.regular import RegularDisk
@@ -50,7 +50,43 @@ from repro.sim.stats import COMPONENTS, Breakdown
 
 
 class DeviceFault(Exception):
-    """Base class for injected device failures."""
+    """Base class for injected device failures.
+
+    Carries structured context so that observers (tracing, metrics, the
+    retry machinery) can record *what* failed without parsing message
+    strings: the logical operation, the logical block / physical sector it
+    targeted, the run length, and -- when a retry policy is replaying the
+    operation -- which attempt this was.  All fields are optional; raisers
+    fill in what they know.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        op: Optional[str] = None,
+        lba: Optional[int] = None,
+        sector: Optional[int] = None,
+        count: Optional[int] = None,
+        attempt: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.lba = lba
+        self.sector = sector
+        self.count = count
+        self.attempt = attempt
+
+    def context(self) -> Dict[str, object]:
+        """The non-``None`` structured fields, for trace records."""
+        fields = {
+            "op": self.op,
+            "lba": self.lba,
+            "sector": self.sector,
+            "count": self.count,
+            "attempt": self.attempt,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
 
 
 class DeviceCrashed(DeviceFault):
@@ -152,7 +188,13 @@ class ObservingDevice(InterposedDevice):
     """An interposer that observes completed operations without changing
     them.  Subclasses implement :meth:`_note`; when ``enabled`` is False
     every operation short-circuits to plain delegation (the zero-cost-
-    when-disabled contract)."""
+    when-disabled contract).
+
+    Operations that *fail* (the wrapped device raises a
+    :class:`DeviceFault` mid-operation) are routed to :meth:`_note_fault`
+    before the exception propagates, so observers never lose the event or
+    leave a half-recorded operation behind.
+    """
 
     def __init__(self, inner: BlockDevice) -> None:
         super().__init__(inner)
@@ -172,11 +214,25 @@ class ObservingDevice(InterposedDevice):
     ) -> None:
         raise NotImplementedError  # pragma: no cover - abstract hook
 
+    def _note_fault(
+        self,
+        op: str,
+        lba: int,
+        count: int,
+        fault: DeviceFault,
+        start: float,
+    ) -> None:
+        pass
+
     def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
         if not self.enabled:
             return self.inner.read_block(lba)
         start = self._clock_now()
-        data, breakdown = self.inner.read_block(lba)
+        try:
+            data, breakdown = self.inner.read_block(lba)
+        except DeviceFault as fault:
+            self._note_fault("read", lba, 1, fault, start)
+            raise
         self._note("read", lba, 1, breakdown, start)
         return data, breakdown
 
@@ -184,7 +240,11 @@ class ObservingDevice(InterposedDevice):
         if not self.enabled:
             return self.inner.write_block(lba, data)
         start = self._clock_now()
-        breakdown = self.inner.write_block(lba, data)
+        try:
+            breakdown = self.inner.write_block(lba, data)
+        except DeviceFault as fault:
+            self._note_fault("write", lba, 1, fault, start)
+            raise
         self._note("write", lba, 1, breakdown, start)
         return breakdown
 
@@ -192,7 +252,11 @@ class ObservingDevice(InterposedDevice):
         if not self.enabled:
             return self.inner.read_blocks(lba, count)
         start = self._clock_now()
-        data, breakdown = self.inner.read_blocks(lba, count)
+        try:
+            data, breakdown = self.inner.read_blocks(lba, count)
+        except DeviceFault as fault:
+            self._note_fault("read", lba, count, fault, start)
+            raise
         self._note("read", lba, count, breakdown, start)
         return data, breakdown
 
@@ -202,7 +266,11 @@ class ObservingDevice(InterposedDevice):
         if not self.enabled:
             return self.inner.write_blocks(lba, count, data)
         start = self._clock_now()
-        breakdown = self.inner.write_blocks(lba, count, data)
+        try:
+            breakdown = self.inner.write_blocks(lba, count, data)
+        except DeviceFault as fault:
+            self._note_fault("write", lba, count, fault, start)
+            raise
         self._note("write", lba, count, breakdown, start)
         return breakdown
 
@@ -210,7 +278,11 @@ class ObservingDevice(InterposedDevice):
         if not self.enabled:
             return self.inner.write_partial(lba, offset, data)
         start = self._clock_now()
-        breakdown = self.inner.write_partial(lba, offset, data)
+        try:
+            breakdown = self.inner.write_partial(lba, offset, data)
+        except DeviceFault as fault:
+            self._note_fault("write_partial", lba, 1, fault, start)
+            raise
         self._note("write_partial", lba, 1, breakdown, start)
         return breakdown
 
@@ -229,7 +301,13 @@ class ObservingDevice(InterposedDevice):
 
 @dataclass
 class TraceEvent:
-    """One logical device operation, as the host saw it."""
+    """One logical device operation, as the host saw it.
+
+    ``fault`` names the :class:`DeviceFault` subclass when the operation
+    failed instead of completing (``fault_context`` carries its structured
+    fields); the breakdown is then empty, since the device never reported
+    a latency for an operation it aborted.
+    """
 
     seq: int
     op: str
@@ -237,13 +315,15 @@ class TraceEvent:
     count: int
     start: float
     breakdown: Breakdown
+    fault: Optional[str] = None
+    fault_context: Optional[Dict[str, object]] = None
 
     @property
     def elapsed(self) -> float:
         return self.breakdown.total
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "seq": self.seq,
             "op": self.op,
             "lba": self.lba,
@@ -252,6 +332,10 @@ class TraceEvent:
             "elapsed": self.elapsed,
             "breakdown": self.breakdown.as_dict(),
         }
+        if self.fault is not None:
+            record["fault"] = self.fault
+            record["fault_context"] = self.fault_context or {}
+        return record
 
 
 class TracingDevice(ObservingDevice):
@@ -280,14 +364,32 @@ class TracingDevice(ObservingDevice):
         self._owns_sink = False
 
     def _note(self, op, lba, count, breakdown, start) -> None:
-        event = TraceEvent(
+        self._emit(TraceEvent(
             seq=self.total_events,
             op=op,
             lba=lba,
             count=count,
             start=start,
             breakdown=breakdown.copy(),
-        )
+        ))
+
+    def _note_fault(self, op, lba, count, fault, start) -> None:
+        # A failed operation is still an event the host saw; record it
+        # instead of letting the unwinding exception erase it from the
+        # trace (the classic "the log ends right before the interesting
+        # part" failure mode).
+        self._emit(TraceEvent(
+            seq=self.total_events,
+            op=op,
+            lba=lba,
+            count=count,
+            start=start,
+            breakdown=Breakdown(),
+            fault=type(fault).__name__,
+            fault_context=fault.context(),
+        ))
+
+    def _emit(self, event: TraceEvent) -> None:
         self.total_events += 1
         self.events.append(event)
         sink = self._open_sink()
@@ -342,6 +444,12 @@ class MetricsDevice(ObservingDevice):
         self.component_hist: Dict[str, LatencyHistogram] = {
             name: LatencyHistogram() for name in COMPONENTS
         }
+        #: Operations the wrapped device aborted with a DeviceFault, per
+        #: op name, and the simulated time those aborted operations
+        #: consumed before failing.  Kept apart from the completed-op
+        #: counters and histograms so injected faults cannot skew them.
+        self.faulted: Dict[str, int] = {}
+        self.faulted_seconds = 0.0
         self.host_seconds = 0.0
         self.idle_seconds = 0.0
         self._last_end: Optional[float] = self._clock_now()
@@ -357,6 +465,22 @@ class MetricsDevice(ObservingDevice):
         if self._last_end is not None and start > self._last_end:
             self.host_seconds += start - self._last_end
         self._last_end = self._clock_now()
+
+    def _note_fault(self, op, lba, count, fault, start) -> None:
+        # Without this hook a mid-operation fault left the op half
+        # recorded: no counter, no histogram sample, and -- worse -- a
+        # stale ``_last_end``, so the *next* operation's clock gap
+        # silently absorbed the faulted op's device time into
+        # ``host_seconds``.  Record the event in its own bucket and
+        # advance the gap origin past whatever time the aborted operation
+        # consumed.
+        self.faulted[op] = self.faulted.get(op, 0) + 1
+        if self._last_end is not None and start > self._last_end:
+            self.host_seconds += start - self._last_end
+        end = self._clock_now()
+        if end > start:
+            self.faulted_seconds += end - start
+        self._last_end = end
 
     def _note_idle(self, seconds: float) -> None:
         # Idle time is neither device nor host work; advance the gap
@@ -400,10 +524,19 @@ class MetricsDevice(ObservingDevice):
         parts = " ".join(
             f"{k}={v * 100:.0f}%" for k, v in fractions.items()
         )
-        return (
+        line = (
             f"ops[{ops}] device={self.device_seconds() * 1e3:.3f}ms "
             f"host={self.host_seconds * 1e3:.3f}ms [{parts}]"
         )
+        if self.faulted:
+            faults = " ".join(
+                f"{op}={self.faulted[op]}" for op in sorted(self.faulted)
+            )
+            line += (
+                f" faulted[{faults}]"
+                f"={self.faulted_seconds * 1e3:.3f}ms"
+            )
+        return line
 
 
 # ======================================================================
@@ -484,26 +617,34 @@ class FaultDevice(InterposedDevice):
         self.writes_dropped = 0
         self.crashed = False
 
-    def _tick(self) -> None:
+    def _tick(self, op: str, lba: int, count: int) -> None:
         if self.crashed:
-            raise DeviceCrashed("device already crashed")
+            raise DeviceCrashed(
+                "device already crashed", op=op, lba=lba, count=count
+            )
         self.ops_seen += 1
         crash_at = self.plan.crash_after_ops
         if crash_at is not None and self.ops_seen >= crash_at:
             self.crashed = True
             raise DeviceCrashed(
-                f"injected crash at operation {self.ops_seen}"
+                f"injected crash at operation {self.ops_seen}",
+                op=op,
+                lba=lba,
+                count=count,
             )
 
     def _fire(self, rate: float) -> bool:
         return rate > 0.0 and self.rng.random() < rate
 
     def _check_read(self, lba: int, count: int) -> None:
-        self._tick()
+        self._tick("read", lba, count)
         if self._fire(self.plan.read_error_rate):
             self.reads_failed += 1
             raise InjectedReadError(
-                f"injected media error reading blocks [{lba}, {lba + count})"
+                f"injected media error reading blocks [{lba}, {lba + count})",
+                op="read",
+                lba=lba,
+                count=count,
             )
 
     def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
@@ -520,7 +661,7 @@ class FaultDevice(InterposedDevice):
     def write_blocks(
         self, lba: int, count: int, data: Optional[bytes] = None
     ) -> Breakdown:
-        self._tick()
+        self._tick("write", lba, count)
         if self._fire(self.plan.dropped_write_rate):
             self.writes_dropped += 1
             self.check_lba(lba, count)
@@ -539,7 +680,7 @@ class FaultDevice(InterposedDevice):
         return self.inner.write_blocks(lba, count, data)
 
     def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
-        self._tick()
+        self._tick("write_partial", lba, 1)
         if self._fire(self.plan.dropped_write_rate):
             self.writes_dropped += 1
             return Breakdown()
@@ -560,6 +701,18 @@ class DiskFaultInjector:
     ``torn=True`` applies the first half of the fatal write's sectors
     before crashing (a sector-granular tear); a one-sector write tears to
     nothing, i.e. it is dropped entirely.
+
+    Media degradation is modelled at sector granularity:
+
+    * ``flaky_sectors`` maps sector numbers to per-attempt failure
+      probabilities -- a *transient* media error the drive's read-retry
+      machinery can recover from (each replay re-rolls the seeded RNG);
+    * ``bad_sectors`` fail every read that touches them -- the grown
+      defects a resilience layer must quarantine and remap around;
+    * ``read_error_rate`` remains the uncorrelated transient noise floor.
+
+    Writes never fault (grown defects here are discovered on read, the
+    common ECC story); only the crash machinery interrupts writes.
     """
 
     def __init__(
@@ -568,13 +721,18 @@ class DiskFaultInjector:
         torn: bool = True,
         read_error_rate: float = 0.0,
         seed: int = 0,
+        bad_sectors: Optional[Set[int]] = None,
+        flaky_sectors: Optional[Dict[int, float]] = None,
     ) -> None:
         self.crash_after_writes = crash_after_writes
         self.torn = torn
         self.read_error_rate = read_error_rate
         self.rng = random.Random(seed)
+        self.bad_sectors: Set[int] = set(bad_sectors or ())
+        self.flaky_sectors: Dict[int, float] = dict(flaky_sectors or {})
         self.writes_seen = 0
         self.reads_seen = 0
+        self.read_errors_raised = 0
         self.crashed = False
 
     def install(self, disk) -> "DiskFaultInjector":
@@ -587,7 +745,9 @@ class DiskFaultInjector:
 
     def before_write(self, disk, sector: int, count: int, data) -> None:
         if self.crashed:
-            raise DeviceCrashed("disk already crashed")
+            raise DeviceCrashed(
+                "disk already crashed", op="write", sector=sector, count=count
+            )
         self.writes_seen += 1
         at = self.crash_after_writes
         if at is not None and self.writes_seen >= at:
@@ -598,18 +758,49 @@ class DiskFaultInjector:
                     disk.poke(sector, data[: keep * disk.sector_bytes])
             raise DeviceCrashed(
                 f"injected power loss at physical write {self.writes_seen} "
-                f"(sector {sector}, {count} sectors)"
+                f"(sector {sector}, {count} sectors)",
+                op="write",
+                sector=sector,
+                count=count,
             )
 
     def before_read(self, disk, sector: int, count: int) -> None:
         if self.crashed:
-            raise DeviceCrashed("disk already crashed")
+            raise DeviceCrashed(
+                "disk already crashed", op="read", sector=sector, count=count
+            )
         self.reads_seen += 1
+        run = range(sector, sector + count)
+        if self.bad_sectors:
+            for s in run:
+                if s in self.bad_sectors:
+                    self.read_errors_raised += 1
+                    raise InjectedReadError(
+                        f"unrecoverable media error at sector {s}",
+                        op="read",
+                        sector=s,
+                        count=count,
+                    )
+        if self.flaky_sectors:
+            for s in run:
+                rate = self.flaky_sectors.get(s)
+                if rate is not None and self.rng.random() < rate:
+                    self.read_errors_raised += 1
+                    raise InjectedReadError(
+                        f"transient media error at sector {s}",
+                        op="read",
+                        sector=s,
+                        count=count,
+                    )
         if self.read_error_rate > 0.0 and (
             self.rng.random() < self.read_error_rate
         ):
+            self.read_errors_raised += 1
             raise InjectedReadError(
-                f"injected media error at sector {sector}"
+                f"injected media error at sector {sector}",
+                op="read",
+                sector=sector,
+                count=count,
             )
 
 

@@ -76,6 +76,14 @@ class Disk:
         #: count)`` / ``before_write(disk, sector, count, data)`` methods
         #: that may raise -- see ``repro.blockdev.interpose``.
         self.fault_injector = None
+        #: Optional sidecar checksum store with a ``record(sector, data)``
+        #: method, modelling the per-sector out-of-band ECC bytes real
+        #: drives write alongside every sector.  Attached by the VLD's
+        #: resilience layer; recording costs zero simulated time (the
+        #: head writes the ECC in the same pass as the data), and
+        #: verification happens in the *reader's* path, never here, so
+        #: non-resilient consumers are untouched.
+        self.checksums = None
 
     # Back-compatible views of the counters (these were plain attributes
     # before the accounting moved into OpCounters).
@@ -143,6 +151,8 @@ class Disk:
             raise RuntimeError("disk was created with store_data=False")
         lo = sector * self.sector_bytes
         self._data[lo : lo + len(data)] = data
+        if self.checksums is not None:
+            self.checksums.record(sector, data)
         self.cache.note_write(sector, count)
 
     def _check_run(self, sector: int, count: int) -> None:
@@ -225,6 +235,8 @@ class Disk:
                 data if data is not None else _zeros(count * self.sector_bytes)
             )
             self._data[lo : lo + len(payload)] = payload
+            if self.checksums is not None:
+                self.checksums.record(sector, payload)
         self.cache.note_write(sector, count)
         self.counters.note_write(count, self.clock.now - start)
         return breakdown

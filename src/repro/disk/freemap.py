@@ -118,6 +118,14 @@ class FreeSpaceMap:
             geometry.sectors_per_cylinder
         ] * geometry.num_cylinders
         self.free_sectors = geometry.total_sectors
+        #: One bitmask per track of *quarantined* sectors (bad media the
+        #: resilience layer has retired), or ``None`` while nothing is
+        #: quarantined -- the common case pays one ``is None`` test on the
+        #: mark_free path and nothing anywhere else.  Quarantined sectors
+        #: read as used and ``mark_free`` silently skips them, so bulk
+        #: rebuilds (``mark_free(0, total_sectors)`` during recovery)
+        #: preserve the quarantine without the caller special-casing it.
+        self._quarantined: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -155,10 +163,17 @@ class FreeSpaceMap:
         self.geometry.check_sector(sector + count - 1)
         n = self._n
         tracks_per_cyl = self.geometry.tracks_per_cylinder
+        quarantined = self._quarantined
         while count > 0:
             track, offset = divmod(sector, n)
             span = min(n - offset, count)
             segment = ((1 << span) - 1) << offset
+            if free and quarantined is not None:
+                segment &= ~quarantined[track]
+                if segment == 0:
+                    sector += span
+                    count -= span
+                    continue
             old = self._masks[track]
             new = (old | segment) if free else (old & ~segment)
             if new != old:
@@ -177,8 +192,62 @@ class FreeSpaceMap:
         self._set(sector, count, free=False)
 
     def mark_free(self, sector: int, count: int = 1) -> None:
-        """Mark a run of sectors as free (reusable)."""
+        """Mark a run of sectors as free (reusable).
+
+        Quarantined sectors inside the run stay used: bad media never
+        re-enters the allocation pool, even via the recovery rebuild's
+        blanket ``mark_free`` over the whole disk.
+        """
         self._set(sector, count, free=True)
+
+    # ------------------------------------------------------------------
+    # Quarantine (resilience layer)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, sector: int, count: int = 1) -> None:
+        """Permanently retire a run of sectors from allocation."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+        if self._quarantined is None:
+            self._quarantined = [0] * len(self._masks)
+        n = self._n
+        cursor, remaining = sector, count
+        while remaining > 0:
+            track, offset = divmod(cursor, n)
+            span = min(n - offset, remaining)
+            self._quarantined[track] |= ((1 << span) - 1) << offset
+            cursor += span
+            remaining -= span
+        self._set(sector, count, free=False)
+
+    def set_quarantined(self, sectors) -> None:
+        """Replace the quarantine set wholesale (recovery-time load)."""
+        self._quarantined = None
+        for sector in sectors:
+            self.quarantine(sector)
+
+    def quarantined_sectors(self) -> List[int]:
+        """Linear sector numbers currently quarantined, ascending."""
+        if self._quarantined is None:
+            return []
+        out: List[int] = []
+        n = self._n
+        for track, mask in enumerate(self._quarantined):
+            base = track * n
+            while mask:
+                low = mask & -mask
+                out.append(base + low.bit_length() - 1)
+                mask &= mask - 1
+        return out
+
+    def is_quarantined(self, sector: int) -> bool:
+        self.geometry.check_sector(sector)
+        if self._quarantined is None:
+            return False
+        track, offset = divmod(sector, self._n)
+        return bool((self._quarantined[track] >> offset) & 1)
 
     def track_free_count(self, cylinder: int, head: int) -> int:
         self.geometry.check_track(cylinder, head)
@@ -423,6 +492,7 @@ class ReferenceFreeSpaceMap:
             geometry.sectors_per_cylinder
         ] * geometry.num_cylinders
         self.free_sectors = geometry.total_sectors
+        self._quarantined_set: set = set()
 
     def _track_index(self, cylinder: int, head: int) -> int:
         return cylinder * self.geometry.tracks_per_cylinder + head
@@ -447,6 +517,8 @@ class ReferenceFreeSpaceMap:
         per_track = self.geometry.sectors_per_track
         value = 1 if free else 0
         for s in range(sector, sector + count):
+            if free and s in self._quarantined_set:
+                continue
             if self._free[s] == value:
                 continue
             self._free[s] = value
@@ -460,6 +532,26 @@ class ReferenceFreeSpaceMap:
 
     def mark_free(self, sector: int, count: int = 1) -> None:
         self._set(sector, count, free=True)
+
+    def quarantine(self, sector: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.geometry.check_sector(sector)
+        self.geometry.check_sector(sector + count - 1)
+        self._quarantined_set.update(range(sector, sector + count))
+        self._set(sector, count, free=False)
+
+    def set_quarantined(self, sectors) -> None:
+        self._quarantined_set = set()
+        for sector in sectors:
+            self.quarantine(sector)
+
+    def quarantined_sectors(self) -> List[int]:
+        return sorted(self._quarantined_set)
+
+    def is_quarantined(self, sector: int) -> bool:
+        self.geometry.check_sector(sector)
+        return sector in self._quarantined_set
 
     def track_free_count(self, cylinder: int, head: int) -> int:
         self.geometry.check_track(cylinder, head)

@@ -17,6 +17,13 @@ figure is near-instant (any source edit invalidates transparently),
 ``--no-cache`` disables the cache, and ``--cache-stats`` prints
 hit/miss/submission counts after each experiment.
 
+Resilience flags: ``--torture`` runs the composed-fault torture matrix
+(crash/torn/flaky/read-error plans over every workload; ``--full``
+widens it to the weekly multi-seed grid) instead of the experiments,
+minimizing and writing a ``torture-repro/`` artifact for any failing
+plan; ``--scrub`` prints a short flaky-media story showing retries,
+quarantine, and the idle-time scrubber migrating live data.
+
 Examples::
 
     python -m repro.harness table1 figure1
@@ -25,6 +32,8 @@ Examples::
     python -m repro.harness --metrics table2
     python -m repro.harness --trace /tmp/ops.jsonl figure6
     python -m repro.harness --faults crash_after=500 figure6
+    python -m repro.harness --torture --jobs 2
+    python -m repro.harness --scrub
     python -m repro.harness --list
 """
 
@@ -185,6 +194,11 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-stats", action="store_true",
                         help="print sweep cache/executor statistics after "
                              "each experiment")
+    parser.add_argument("--torture", action="store_true",
+                        help="run the composed-fault torture matrix "
+                             "(with --full: the weekly multi-seed grid)")
+    parser.add_argument("--scrub", action="store_true",
+                        help="print a flaky-media scrubbing demo")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -192,6 +206,14 @@ def main(argv=None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.scrub:
+        return _run_scrub_demo()
+    if args.torture:
+        cache = None if args.no_cache else ResultCache(args.cache)
+        with sweep.configured(jobs=args.jobs, cache=cache):
+            status = _run_torture(args)
+        _report_sweep_stats(args, "torture")
+        return status
     if args.trace or args.metrics or args.faults:
         try:
             faults = FaultPlan.parse(args.faults) if args.faults else None
@@ -239,6 +261,106 @@ def main(argv=None) -> int:
                   f"{time.time() - start:.1f}s wall]\n")
             _report_sweep_stats(args, name)
             _report_metrics(args)
+    return 0
+
+
+def _run_torture(args) -> int:
+    """The composed-fault matrix; exit 1 (plus a minimized repro
+    artifact) if any plan fails."""
+    from repro.harness import torture
+
+    points = torture.long_set() if args.full else torture.quick_set()
+    print(f"torture matrix: {len(points)} plans "
+          f"({'weekly' if args.full else 'quick'} set, "
+          f"jobs={args.jobs})")
+    verdicts = torture.run_matrix(points)
+    rows = []
+    failing = None
+    for verdict in verdicts:
+        params = verdict["params"]
+        fault = ",".join(
+            f"{k}={params[k]}" for k in
+            ("crash_after", "torn", "flaky", "read_error_rate")
+            if params.get(k)
+        ) or "none"
+        counters = verdict["counters"]
+        rows.append([
+            params["workload"], fault, verdict["seed"],
+            "ok" if verdict["ok"] else "FAIL",
+            verdict["crashed_at"] if verdict["crashed_at"] is not None
+            else "-",
+            counters["retries"], counters["quarantined"],
+            counters["sectors_scrubbed"],
+        ])
+        if failing is None and not verdict["ok"]:
+            failing = verdict
+    print(format_table(
+        ["workload", "faults", "seed", "verdict", "crash op",
+         "retries", "quarantined", "scrubbed"],
+        rows, title="Torture matrix",
+    ))
+    if failing is None:
+        print(f"\nall {len(verdicts)} plans survived: recovery clean, "
+              f"vlfsck silent, oracle satisfied")
+        return 0
+    print(f"\nminimizing failing plan {failing['params']} "
+          f"seed={failing['seed']} ...", file=sys.stderr)
+    minimized = torture.minimize(failing["params"], failing["seed"])
+    path = torture.write_repro(failing, minimized)
+    print(f"failure minimized to {minimized['params']} "
+          f"({minimized['runs']} runs); repro written to {path}",
+          file=sys.stderr)
+    for line in failing["failures"][:10]:
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+def _run_scrub_demo() -> int:
+    """A watchable tour of the resilience layer: flaky sectors under
+    live data, retries, quarantine, and idle-time migration."""
+    from repro.disk.disk import Disk
+    from repro.disk.specs import ST19101
+    from repro.blockdev.interpose import DiskFaultInjector
+    from repro.vlog.vld import VirtualLogDisk
+
+    disk = Disk(ST19101, num_cylinders=4)
+    vld = VirtualLogDisk(disk)
+    for lba in range(32):
+        vld.write_block(lba, bytes([lba % 251]) * vld.block_size)
+    from repro.vlog.resilience import MediaError
+
+    victim = vld.imap.get(5)
+    sector = victim * vld.sectors_per_block
+    DiskFaultInjector(
+        flaky_sectors={sector: 0.75}, seed=42
+    ).install(disk)
+    print(f"32 blocks written; lba 5 lives on physical block {victim}; "
+          f"sector {sector} now fails ~75% of read attempts")
+
+    def read5() -> bytes:
+        while True:  # the host's own retry loop, as a file system would
+            try:
+                return vld.read_block(5)[0]
+            except MediaError:
+                continue
+
+    data = read5()
+    res = vld.resilience
+    print(f"read lba 5: {res.retries} drive retries, "
+          f"{res.media_errors} escalated to the host, data "
+          f"{'intact' if data == bytes([5]) * vld.block_size else 'LOST'}; "
+          f"suspects queued: {len(res.suspects)}")
+    vld.idle(0.5)
+    moved = vld.imap.get(5)
+    print(f"idle 0.5s: scrubber migrated "
+          f"{res.scrubber.blocks_migrated} block(s); lba 5 now on "
+          f"physical block {moved}; quarantined sectors: "
+          f"{sorted(res.quarantine.sectors)}")
+    before = res.retries
+    data = read5()
+    print(f"re-read lba 5: {res.retries - before} new retries (the "
+          f"flaky sector is quarantined and vacated), data "
+          f"{'intact' if data == bytes([5]) * vld.block_size else 'LOST'}")
     return 0
 
 

@@ -1,0 +1,517 @@
+"""Composed-fault torture harness for the virtual log disk.
+
+Each :func:`torture_point` is a *pure, seeded* sweep point (the same
+contract every figure uses, so the fault matrix rides the PR-3 sweep
+engine unchanged): build a small VLD, drive a seeded workload through a
+:class:`~repro.blockdev.interpose.DiskFaultInjector` composing
+crash-after-N physical writes, torn final writes, per-sector flaky media
+and an uncorrelated read-error floor; crash; recover; run the online
+:func:`~repro.vlog.resilience.vlfsck` checker; and differentially
+compare every acknowledged block against an in-memory oracle.
+
+The oracle is strict about durability semantics: a block whose write was
+*acknowledged* must read back exactly; the blocks of the one request in
+flight at the crash may legally read old **or** new (the VLD's commit
+point is the map-chunk append, so either side of it is a consistent
+outcome); everything else must be what it was.  Transient (flaky) media
+errors must be recoverable by retry -- the harness re-drives a failed
+logical read a bounded number of times before declaring data loss.
+
+A failing point is a JSON-serializable fault plan, and
+:func:`minimize` shrinks it -- first the op count, then the crash point
+-- to the smallest plan that still fails, which :func:`write_repro`
+drops into ``torture-repro/`` as a self-contained reproduction recipe
+(this is what CI uploads on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.blockdev.interpose import DeviceCrashed, DiskFaultInjector
+from repro.disk.disk import Disk
+from repro.disk.specs import ST19101
+from repro.harness.sweep import SweepPoint, run_sweep
+from repro.vlog.resilience import MediaError, vlfsck
+from repro.vlog.vld import VirtualLogDisk
+
+#: Logical span the workloads touch (blocks); small enough that every
+#: point runs in a couple of seconds, large enough to span many tracks.
+SPAN = 256
+
+#: How many times the harness re-drives a logical read that exhausted
+#: the drive's own retries.  Flaky sectors are *transient*: a read that
+#: stays dead through drive retries x harness retries is data loss.
+HARNESS_READ_RETRIES = 10
+
+#: Ops appended after recovery to prove the device is fully serviceable
+#: (allocator, compactor, and scrubber all run on the recovered state).
+CONTINUE_OPS = 20
+
+
+# ======================================================================
+# Workloads: seeded generators of (op, lba, count-or-seconds) tuples
+# ======================================================================
+
+Op = Tuple[str, int, float]
+
+
+def _ops_small_writes(rng) -> Iterator[Op]:
+    """Uniform single-block writes with occasional read-back."""
+    while True:
+        lba = rng.randrange(SPAN)
+        yield ("write", lba, 1)
+        if rng.random() < 0.25:
+            yield ("read", rng.randrange(SPAN), 1)
+
+
+def _ops_overwrites(rng) -> Iterator[Op]:
+    """A hot set hammered in place -- maximizes dead map records and
+    compactor work, the paper's 'monitor overwrites' path."""
+    hot = [rng.randrange(SPAN) for _ in range(16)]
+    while True:
+        yield ("write", rng.choice(hot), 1)
+        if rng.random() < 0.15:
+            yield ("read", rng.choice(hot), 1)
+
+
+def _ops_sequential(rng) -> Iterator[Op]:
+    """Multi-block sequential runs (torn-write bait: a crash mid-run
+    commits a prefix) followed by sequential read-back."""
+    while True:
+        start = rng.randrange(SPAN - 8)
+        count = rng.randrange(2, 8)
+        yield ("write", start, count)
+        if rng.random() < 0.3:
+            yield ("read", start, count)
+
+
+def _ops_trims(rng) -> Iterator[Op]:
+    """Writes interleaved with trims, so recovery must tell a trimmed
+    block from a never-written one."""
+    while True:
+        lba = rng.randrange(SPAN)
+        if rng.random() < 0.3:
+            yield ("trim", lba, rng.randrange(1, 4))
+        else:
+            yield ("write", lba, 1)
+
+
+def _ops_bursty_idle(rng) -> Iterator[Op]:
+    """Write bursts separated by idle gaps: the compactor (and, once
+    suspects exist, the scrubber) runs *during* the fault window."""
+    while True:
+        for _ in range(rng.randrange(4, 10)):
+            yield ("write", rng.randrange(SPAN), 1)
+        yield ("idle", 0, 0.05 + rng.random() * 0.1)
+
+
+WORKLOADS: Dict[str, Callable[[Any], Iterator[Op]]] = {
+    "small_writes": _ops_small_writes,
+    "overwrites": _ops_overwrites,
+    "sequential": _ops_sequential,
+    "trims": _ops_trims,
+    "bursty_idle": _ops_bursty_idle,
+}
+
+
+# ======================================================================
+# The oracle
+# ======================================================================
+
+def _payload(block_size: int, lba: int, version: int, seed: int) -> bytes:
+    """Deterministic block contents for (lba, version): version 0 is the
+    all-zero never-written/trimmed state."""
+    if version == 0:
+        return bytes(block_size)
+    word = struct.pack("<IIII", lba & 0xFFFFFFFF, version & 0xFFFFFFFF,
+                       seed & 0xFFFFFFFF,
+                       zlib.crc32(struct.pack("<II", lba, version)))
+    return (word * (block_size // len(word) + 1))[:block_size]
+
+
+class _Oracle:
+    """Differential model of what every logical block must read as.
+
+    ``committed`` maps lba -> version (0 == zeros).  While a request is
+    in flight, each of its blocks also carries a tentative new version
+    in ``pending``; a crash freezes those as *acceptable alternatives*
+    until the post-recovery audit resolves which side of the commit
+    point each block landed on.
+    """
+
+    def __init__(self, block_size: int, seed: int) -> None:
+        self.block_size = block_size
+        self.seed = seed
+        self.committed: Dict[int, int] = {}
+        self.pending: Dict[int, int] = {}
+        self._next_version = 1
+
+    def begin_write(self, lba: int, count: int) -> bytes:
+        pieces = []
+        for i in range(count):
+            version = self._next_version
+            self._next_version += 1
+            self.pending[lba + i] = version
+            pieces.append(_payload(self.block_size, lba + i, version,
+                                   self.seed))
+        return b"".join(pieces)
+
+    def begin_trim(self, lba: int, count: int) -> None:
+        for i in range(count):
+            self.pending[lba + i] = 0
+
+    def ack(self) -> None:
+        self.committed.update(self.pending)
+        self.pending.clear()
+
+    def acceptable(self, lba: int) -> List[int]:
+        versions = [self.committed.get(lba, 0)]
+        if lba in self.pending and self.pending[lba] not in versions:
+            versions.append(self.pending[lba])
+        return versions
+
+    def expected(self, lba: int) -> bytes:
+        return _payload(self.block_size, lba,
+                        self.committed.get(lba, 0), self.seed)
+
+    def audit(self, read_block: Callable[[int], Optional[bytes]],
+              failures: List[str]) -> None:
+        """Post-recovery: check every block ever touched, resolving the
+        crashed request's blocks to whichever side actually persisted."""
+        for lba in sorted(set(self.committed) | set(self.pending)):
+            actual = read_block(lba)
+            if actual is None:
+                failures.append(f"lba {lba}: unreadable after retries")
+                continue
+            versions = self.acceptable(lba)
+            for version in versions:
+                if actual == _payload(self.block_size, lba, version,
+                                      self.seed):
+                    self.committed[lba] = version
+                    break
+            else:
+                failures.append(
+                    f"lba {lba}: contents match none of the acceptable "
+                    f"versions {versions}"
+                )
+        self.pending.clear()
+
+
+# ======================================================================
+# One torture point
+# ======================================================================
+
+def _pick_flaky(rng, vld: VirtualLogDisk, count: int,
+                rate: float) -> Dict[int, float]:
+    """Seeded flaky sectors drawn from the *currently used* physical
+    footprint (data blocks and live map records), so the degradation is
+    guaranteed to sit under live state -- sectors picked uniformly over
+    a mostly-empty disk would almost never be read at all.  The
+    power-down block never qualifies (both allocators reserve it)."""
+    spb = vld.sectors_per_block
+    map_spb = vld.vlog.sectors_per_block
+    candidates: List[int] = []
+    for block in sorted(vld.reverse):
+        candidates.extend(range(block * spb, (block + 1) * spb))
+    for record in sorted(vld.vlog.live_blocks()):
+        candidates.extend(
+            range(record * map_spb, (record + 1) * map_spb)
+        )
+    flaky: Dict[int, float] = {}
+    while candidates and len(flaky) < count:
+        flaky[candidates[rng.randrange(len(candidates))]] = rate
+    return flaky
+
+
+def torture_point(
+    workload: str = "small_writes",
+    ops: int = 120,
+    crash_after: Optional[int] = None,
+    torn: bool = True,
+    read_error_rate: float = 0.0,
+    flaky: int = 0,
+    flaky_rate: float = 0.0,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Run one composed-fault scenario end to end; returns a
+    JSON-serializable verdict (``ok`` plus diagnostics)."""
+    import random
+
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; "
+                         f"try one of {sorted(WORKLOADS)}")
+    rng = random.Random(seed)
+    disk = Disk(ST19101, num_cylinders=6)
+    vld = VirtualLogDisk(disk)
+    oracle = _Oracle(vld.block_size, seed)
+    failures: List[str] = []
+
+    flaky_sectors: Dict[int, float] = {}
+    injector = DiskFaultInjector(
+        crash_after_writes=crash_after,
+        torn=torn,
+        read_error_rate=read_error_rate,
+        seed=seed,
+    ).install(disk)
+
+    def read_block(lba: int) -> Optional[bytes]:
+        for _ in range(HARNESS_READ_RETRIES):
+            try:
+                data, _cost = vld.read_block(lba)
+                return data
+            except MediaError:
+                continue
+        return None
+
+    def run_ops(op_iter: Iterator[Op], budget: int) -> int:
+        """Drive ``budget`` ops; returns the index of the op the crash
+        interrupted, or -1 when all completed."""
+        for index in range(budget):
+            op, lba, arg = next(op_iter)
+            try:
+                if op == "write":
+                    data = oracle.begin_write(lba, int(arg))
+                    vld.write_blocks(lba, int(arg), data)
+                    oracle.ack()
+                elif op == "trim":
+                    oracle.begin_trim(lba, int(arg))
+                    vld.trim(lba, int(arg))
+                    oracle.ack()
+                elif op == "idle":
+                    vld.idle(float(arg))
+                else:  # read
+                    count = int(arg)
+                    actual = None
+                    for _ in range(HARNESS_READ_RETRIES):
+                        try:
+                            actual, _cost = vld.read_blocks(lba, count)
+                            break
+                        except MediaError:
+                            continue
+                    if actual is None:
+                        failures.append(
+                            f"op {index}: read lba {lba} x{count} stayed "
+                            f"unreadable through retries"
+                        )
+                        continue
+                    for i in range(count):
+                        piece = actual[i * vld.block_size:
+                                       (i + 1) * vld.block_size]
+                        if piece != oracle.expected(lba + i):
+                            failures.append(
+                                f"op {index}: read lba {lba + i} returned "
+                                f"stale or corrupt contents"
+                            )
+            except DeviceCrashed:
+                return index
+        return -1
+
+    # A short fault-free warmup lays down live state; the flaky sectors
+    # are then seeded *under* it, so the rest of the run -- and the
+    # recovery scan -- genuinely read degraded media.
+    op_iter = WORKLOADS[workload](random.Random(seed ^ 0x5EED))
+    warmup = min(8, ops // 4)
+    crashed_at = run_ops(op_iter, warmup)
+    if crashed_at < 0:
+        if flaky:
+            flaky_sectors.update(_pick_flaky(rng, vld, flaky, flaky_rate))
+            injector.flaky_sectors.update(flaky_sectors)
+        rest = run_ops(op_iter, ops - warmup)
+        crashed_at = -1 if rest < 0 else warmup + rest
+    orderly = crashed_at < 0
+    if orderly and crash_after is None:
+        # No crash machinery at all: model an orderly shutdown so the
+        # power-record path recovers under the same flaky media.
+        vld.power_down()
+
+    # ------------------------------------------------------------------
+    # Crash, clear the crash machinery (media degradation persists),
+    # recover, audit.
+    # ------------------------------------------------------------------
+    injector.uninstall(disk)
+    injector = DiskFaultInjector(
+        read_error_rate=read_error_rate,
+        seed=seed + 1,
+        flaky_sectors=flaky_sectors,
+    ).install(disk)
+    vld.crash()
+    outcome = vld.recover()
+
+    report = vlfsck(vld, deep=True)
+    for violation in report.violations:
+        failures.append(f"vlfsck: {violation.kind}: {violation.detail}")
+    oracle.audit(read_block, failures)
+
+    # ------------------------------------------------------------------
+    # Keep going: the recovered device must be fully serviceable.
+    # ------------------------------------------------------------------
+    if run_ops(op_iter, CONTINUE_OPS) >= 0:
+        failures.append("continue phase crashed with no injector armed")
+    vld.idle(0.2)  # let the scrubber drain any suspects
+    final = vlfsck(vld, deep=True)
+    for violation in final.violations:
+        failures.append(f"final vlfsck: {violation.kind}: "
+                        f"{violation.detail}")
+    oracle.audit(read_block, failures)
+
+    resilience = vld.resilience
+    assert resilience is not None
+    return {
+        "ok": not failures,
+        "failures": failures,
+        "workload": workload,
+        "ops": ops,
+        "crashed_at": crashed_at if crashed_at >= 0 else None,
+        "orderly": orderly,
+        "recovery": {
+            "used_power_down_record": outcome.used_power_down_record,
+            "scanned": outcome.scanned,
+            "degraded": outcome.degraded,
+            "reconstructed": outcome.reconstructed,
+            "records_read": outcome.records_read,
+            "media_errors": outcome.media_errors,
+            "quarantined_sectors": outcome.quarantined_sectors,
+        },
+        "fsck": {
+            "checked_records": final.checked_records,
+            "checked_blocks": final.checked_blocks,
+        },
+        "counters": {
+            "media_errors": resilience.media_errors,
+            "retries": resilience.retries,
+            "checksum_failures": resilience.checksum_failures,
+            "quarantined": len(resilience.quarantine),
+            "sectors_scrubbed": resilience.scrubber.sectors_scrubbed,
+            "blocks_migrated": resilience.scrubber.blocks_migrated,
+        },
+    }
+
+
+# ======================================================================
+# The matrix
+# ======================================================================
+
+#: Fault families composed over every workload.  ``crash+torn`` is the
+#: paper's power-loss story; ``flaky`` exercises retry + scrub without a
+#: crash; ``composed`` stacks everything at once.
+FAMILIES: Dict[str, Dict[str, Any]] = {
+    "crash": dict(ops=120, crash_after=45, torn=False),
+    "crash+torn": dict(ops=120, crash_after=35, torn=True),
+    "flaky": dict(ops=100, flaky=6, flaky_rate=0.5),
+    "composed": dict(ops=120, crash_after=50, torn=True,
+                     flaky=4, flaky_rate=0.4, read_error_rate=0.002),
+}
+
+
+def matrix(
+    seeds: Tuple[int, ...] = (0,),
+    workloads: Optional[List[str]] = None,
+    families: Optional[List[str]] = None,
+) -> List[SweepPoint]:
+    """The (workload x fault-family x seed) grid as sweep points."""
+    points: List[SweepPoint] = []
+    for name in workloads or sorted(WORKLOADS):
+        for family in families or sorted(FAMILIES):
+            for seed in seeds:
+                params = dict(FAMILIES[family], workload=name)
+                points.append(SweepPoint(
+                    fn_name="repro.harness.torture:torture_point",
+                    params=params,
+                    seed=seed,
+                ))
+    return points
+
+
+def quick_set() -> List[SweepPoint]:
+    """The CI quick matrix: every workload x every family, one seed."""
+    return matrix(seeds=(0,))
+
+
+def long_set() -> List[SweepPoint]:
+    """The weekly matrix: more seeds over the same grid."""
+    return matrix(seeds=tuple(range(8)))
+
+
+def run_matrix(points: List[SweepPoint],
+               jobs: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Execute the grid through the sweep engine (process-wide jobs and
+    cache defaults apply, so ``--jobs``/``--cache`` just work); a
+    failing point's verdict is annotated with its (params, seed) for
+    the minimizer."""
+    verdicts = []
+    for result in run_sweep(points, jobs=jobs):
+        verdict = dict(result.value)
+        verdict["params"] = dict(result.point.params)
+        verdict["seed"] = result.point.seed
+        verdicts.append(verdict)
+    return verdicts
+
+
+# ======================================================================
+# Minimization + repro artifacts
+# ======================================================================
+
+def minimize(params: Dict[str, Any], seed: int,
+             runs_budget: int = 40) -> Dict[str, Any]:
+    """Shrink a failing fault plan to the smallest one that still fails.
+
+    Greedy halving on ``ops`` first (fewer ops = less log to read in the
+    repro), then on ``crash_after``; failure need not be monotone in
+    either, so each halving step is *verified* by re-running the point
+    and abandoned when the smaller plan passes.
+    """
+    runs = 0
+
+    def fails(candidate: Dict[str, Any]) -> bool:
+        nonlocal runs
+        runs += 1
+        return not torture_point(seed=seed, **candidate)["ok"]
+
+    if not fails(params):
+        raise ValueError("minimize() needs a failing plan to start from")
+    best = dict(params)
+    for key, floor in (("ops", 1), ("crash_after", 1)):
+        value = best.get(key)
+        while value is not None and value > floor and runs < runs_budget:
+            candidate = dict(best, **{key: max(floor, value // 2)})
+            if fails(candidate):
+                best = candidate
+                value = best[key]
+            else:
+                break
+    return {"params": best, "seed": seed, "runs": runs}
+
+
+def write_repro(verdict: Dict[str, Any], minimized: Dict[str, Any],
+                directory: str = "torture-repro") -> str:
+    """Drop a self-contained reproduction recipe for one failure."""
+    os.makedirs(directory, exist_ok=True)
+    params, seed = minimized["params"], minimized["seed"]
+    call = ", ".join(
+        [f"{k}={v!r}" for k, v in sorted(params.items())] + [f"seed={seed}"]
+    )
+    artifact = {
+        "fn": "repro.harness.torture:torture_point",
+        "params": params,
+        "seed": seed,
+        "failures": verdict["failures"],
+        "original_params": verdict["params"],
+        "reproduce": (
+            "PYTHONPATH=src python -c \"from repro.harness.torture import "
+            f"torture_point; import json; "
+            f"print(json.dumps(torture_point({call}), indent=2))\""
+        ),
+    }
+    name = "-".join(
+        str(params.get(k, "")) for k in ("workload", "ops", "crash_after")
+    )
+    path = os.path.join(directory, f"torture-{name}-seed{seed}.json")
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(artifact, sink, indent=2, sort_keys=True)
+        sink.write("\n")
+    return path

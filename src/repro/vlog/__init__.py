@@ -18,13 +18,30 @@ behind the standard block-device interface.
 from repro.vlog.entries import (
     MapRecord,
     entries_per_chunk,
+    QUARANTINE_CHUNK_BASE,
     UNMAPPED,
 )
 from repro.vlog.virtual_log import VirtualLog
 from repro.vlog.imap import IndirectionMap
 from repro.vlog.allocator import EagerAllocator, AllocationPolicy
 from repro.vlog.compactor import FreeSpaceCompactor
-from repro.vlog.recovery import PowerDownStore, RecoveryOutcome
+from repro.vlog.recovery import (
+    PowerDownStore,
+    RecoveryOutcome,
+    scan_for_tail,
+    scan_records,
+)
+from repro.vlog.resilience import (
+    ChecksumStore,
+    FsckReport,
+    MediaError,
+    MediaScrubber,
+    QuarantineTable,
+    ResilienceController,
+    RetryPolicy,
+    silently_corrupt,
+    vlfsck,
+)
 from repro.vlog.vld import VirtualLogDisk
 from repro.vlog.transactions import (
     CrashInjected,
@@ -36,6 +53,7 @@ from repro.vlog.reorganizer import ReadReorganizer
 __all__ = [
     "MapRecord",
     "entries_per_chunk",
+    "QUARANTINE_CHUNK_BASE",
     "UNMAPPED",
     "VirtualLog",
     "IndirectionMap",
@@ -44,6 +62,17 @@ __all__ = [
     "FreeSpaceCompactor",
     "PowerDownStore",
     "RecoveryOutcome",
+    "scan_for_tail",
+    "scan_records",
+    "ChecksumStore",
+    "FsckReport",
+    "MediaError",
+    "MediaScrubber",
+    "QuarantineTable",
+    "ResilienceController",
+    "RetryPolicy",
+    "silently_corrupt",
+    "vlfsck",
     "VirtualLogDisk",
     "Transaction",
     "TransactionalVLD",

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.vlog.resilience import MediaError
 from repro.vlog.vld import VirtualLogDisk
 
 
@@ -128,8 +129,10 @@ class FreeSpaceCompactor:
             record = sector // map_spb
             chunk_id = vld.vlog.chunk_of_block(record)
             if chunk_id is not None and sector % map_spb == 0:
-                # Relocate the live map record through the log itself.
-                vld.vlog.append(chunk_id, vld.imap.chunk_entries(chunk_id))
+                # Relocate the live record through the log itself;
+                # ``relocate`` resolves the payload for every chunk kind
+                # (map, quarantine-table, or transaction-commit records).
+                vld.vlog.relocate(chunk_id)
                 progressed = True
                 sector += map_spb
                 continue
@@ -152,7 +155,13 @@ class FreeSpaceCompactor:
         destination = self._find_hole(source_track)
         if destination is None:
             return None
-        data, _cost = vld.disk.read(block * spb, spb, charge_scsi=False)
+        try:
+            data = vld._read_physical(block * spb, spb, None)
+        except MediaError:
+            # The block resists reading even with retries: leave it for
+            # the scrubber (the failed read queued it as a suspect) and
+            # stop compacting this track.
+            return None
         vld.freemap.mark_used(destination * spb, spb)
         vld.disk.write(destination * spb, spb, data, charge_scsi=False)
         vld.imap.set(lba, destination)

@@ -43,6 +43,15 @@ MAGIC = b"VLOGMAP1"
 #: transactions can be built", made concrete.
 COMMIT_CHUNK_BASE = 0x4000_0000
 
+#: Chunk ids in ``[QUARANTINE_CHUNK_BASE, COMMIT_CHUNK_BASE)`` carry the
+#: resilience layer's bad-sector quarantine table (payload: quarantined
+#: physical sector numbers).  Persisting the table *through the virtual
+#: log itself* -- rather than at a second fixed location -- means it
+#: inherits the log's crash atomicity and recovery for free, and costs no
+#: reserved blocks.  Real indirection-map chunk ids stay far below this
+#: (the map covers physical blocks, so ids are bounded by disk capacity).
+QUARANTINE_CHUNK_BASE = 0x3000_0000
+
 #: Header: magic, chunk_id, n_entries, seqno, prev_root, bypass1, bypass2,
 #: txn_id (0 = not part of a transaction).
 _HEADER = struct.Struct("<8sIIqqqqI")

@@ -15,7 +15,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.disk.disk import Disk
 from repro.sim.stats import Breakdown
@@ -76,24 +76,33 @@ class PowerDownStore:
         else:
             raw = self.disk.peek(self._sector, self.sectors_per_block)
             breakdown = Breakdown()
+        return self.parse(raw), breakdown
+
+    def parse(self, raw: bytes) -> Optional[Tuple[int, int]]:
+        """Validate raw record bytes; ``None`` when absent or corrupt.
+
+        Split from :meth:`read` so resilient callers can fetch the bytes
+        through their own retried/verified path and still share the
+        validation logic.
+        """
         if len(raw) < _RECORD.size:
-            return None, breakdown
+            return None
         magic, tail, seqno, stored_crc = _RECORD.unpack(raw[: _RECORD.size])
         if magic != _MAGIC:
-            return None, breakdown
+            return None
         body = raw[: _RECORD.size - 4]
         if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
-            return None, breakdown
+            return None
         if tail < 0 or seqno < 0:
-            return None, breakdown
+            return None
         if (tail + 1) * self.tail_block_sectors > self.disk.total_sectors:
             # A CRC-valid record naming a tail beyond the end of the disk
             # (e.g. written for a larger device, or firmware scribble that
             # happened to checksum) must not be trusted: reject it so
             # recovery falls back to the scan path instead of chasing an
             # unreadable block.
-            return None, breakdown
-        return (tail, seqno), breakdown
+            return None
+        return (tail, seqno)
 
     def clear(self, timed: bool = True) -> Breakdown:
         """Erase the record (done after successful recovery, per the paper)."""
@@ -111,29 +120,36 @@ class PowerDownStore:
         self.disk.poke(self._sector, garbage)
 
 
-def scan_for_tail(
+def scan_records(
     disk: Disk,
     block_size: int = 4096,
     skip_block: Optional[int] = None,
     skip_sectors: int = 0,
     timed: bool = True,
-) -> Tuple[Optional[int], Breakdown, int]:
-    """Full-disk scan for the youngest map record (the slow path).
+    reader=None,
+) -> Tuple[Dict[int, MapRecord], Breakdown, int]:
+    """Full-disk scan for *every* valid map record.
 
     Reads the disk track by track (the cheapest sequential pattern) and
     parses every aligned record-sized unit for a valid map record.
     ``block_size`` is the *record* size (the VLD uses 512-byte map
     sectors); ``skip_block`` excludes one record position and
     ``skip_sectors`` excludes the first N sectors of the disk (the
-    power-down record's home).  Returns
-    ``(tail_block, breakdown, records_examined)``.
+    power-down record's home).
+
+    ``reader`` (optional) is a fault-tolerant callable
+    ``reader(sector, count, breakdown) -> Optional[bytes]``; when it
+    returns ``None`` the track is treated as unreadable and its records
+    are skipped (a resilient reader typically retries per record first and
+    zero-fills only what stays dead).
+
+    Returns ``(records_by_block, breakdown, records_examined)``.
     """
     breakdown = Breakdown()
     geometry = disk.geometry
     sectors_per_block = max(1, block_size // disk.sector_bytes)
     total_blocks = geometry.total_sectors // sectors_per_block
-    best_seqno = -1
-    best_block: Optional[int] = None
+    found: Dict[int, MapRecord] = {}
     examined = 0
     # Record positions are absolute: record ``b`` occupies sectors
     # ``b*spb .. (b+1)*spb - 1``.  When the block size does not divide the
@@ -143,13 +159,18 @@ def scan_for_tail(
     # track as ``track_start // spb + i`` -- only correct when track starts
     # are block-aligned -- and silently never looked at each track's
     # remainder sectors.)
+    track_bytes = geometry.sectors_per_track * disk.sector_bytes
     pending = bytearray()
     pending_base = 0  # byte offset of pending[0] from the start of the disk
     next_block = 0
     for cylinder in range(geometry.num_cylinders):
         for head in range(geometry.tracks_per_cylinder):
             start = geometry.track_start(cylinder, head)
-            if timed:
+            if reader is not None:
+                raw = reader(start, geometry.sectors_per_track, breakdown)
+                if raw is None:
+                    raw = bytes(track_bytes)
+            elif timed:
                 raw, cost = disk.read(
                     start, geometry.sectors_per_track, charge_scsi=False
                 )
@@ -170,13 +191,43 @@ def scan_for_tail(
                 examined += 1
                 lo = block * block_size - pending_base
                 record = MapRecord.unpack(bytes(pending[lo : lo + block_size]))
-                if record is not None and record.seqno > best_seqno:
-                    best_seqno = record.seqno
-                    best_block = block
+                if record is not None:
+                    found[block] = record
             consumed = next_block * block_size - pending_base
             if consumed > 0:
                 del pending[:consumed]
                 pending_base += consumed
+    return found, breakdown, examined
+
+
+def scan_for_tail(
+    disk: Disk,
+    block_size: int = 4096,
+    skip_block: Optional[int] = None,
+    skip_sectors: int = 0,
+    timed: bool = True,
+    reader=None,
+) -> Tuple[Optional[int], Breakdown, int]:
+    """Full-disk scan for the youngest map record (the slow path).
+
+    A thin selection over :func:`scan_records`: the record with the
+    highest sequence number is the log tail.  Returns
+    ``(tail_block, breakdown, records_examined)``.
+    """
+    found, breakdown, examined = scan_records(
+        disk,
+        block_size,
+        skip_block=skip_block,
+        skip_sectors=skip_sectors,
+        timed=timed,
+        reader=reader,
+    )
+    best_block: Optional[int] = None
+    best_seqno = -1
+    for block, record in found.items():
+        if record.seqno > best_seqno:
+            best_seqno = record.seqno
+            best_block = block
     return best_block, breakdown, examined
 
 
@@ -189,6 +240,15 @@ class RecoveryOutcome:
     records_read: int
     blocks_scanned: int = 0
     breakdown: Breakdown = field(default_factory=Breakdown)
+    #: True when media faults forced pruning or fallback during recovery.
+    degraded: bool = False
+    #: True when the youngest-wins full-disk reconstruction ran (the
+    #: escalation beyond the tail traversal).
+    reconstructed: bool = False
+    #: Sectors that stayed unreadable after retries during this recovery.
+    media_errors: int = 0
+    #: Quarantined sectors restored from the recovered table.
+    quarantined_sectors: int = 0
 
     @property
     def elapsed(self) -> float:

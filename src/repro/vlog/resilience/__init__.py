@@ -1,0 +1,180 @@
+"""Media-fault resilience for the Virtual Log Disk.
+
+The paper's reliability story (Section 3.2) covers *crashes*; this layer
+covers the *medium*: per-sector checksums verified on read, a bounded
+retry policy with deterministic backoff, a persistent bad-sector
+quarantine integrated with the free map, an idle-time scrubber that
+migrates live data off failing sectors, and a ``vlfsck`` invariant
+checker.  Everything is out-of-band with respect to simulated time except
+retries and scrubbing, so with no faults injected the VLD's timing is
+bit-for-bit identical to the layer being absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.blockdev.interpose import DeviceCrashed, DeviceFault
+from repro.sim.stats import Breakdown
+from repro.vlog.entries import entries_per_chunk
+from repro.vlog.resilience.checker import FsckReport, Violation, vlfsck
+from repro.vlog.resilience.checksum import ChecksumStore, silently_corrupt
+from repro.vlog.resilience.quarantine import QuarantineTable
+from repro.vlog.resilience.retry import MediaError, RetryPolicy
+from repro.vlog.resilience.scrubber import MediaScrubber
+
+__all__ = [
+    "ChecksumStore",
+    "FsckReport",
+    "MediaError",
+    "MediaScrubber",
+    "QuarantineTable",
+    "ResilienceController",
+    "RetryPolicy",
+    "Violation",
+    "silently_corrupt",
+    "vlfsck",
+]
+
+
+class ResilienceController:
+    """Ties checksums, retries, quarantine, and the scrubber to one VLD.
+
+    Created by :class:`~repro.vlog.vld.VirtualLogDisk` when resilience is
+    enabled; attaches the checksum sidecar to the disk and owns the
+    suspect queue the scrubber drains.
+    """
+
+    def __init__(self, vld, policy: Optional[RetryPolicy] = None) -> None:
+        self.vld = vld
+        self.disk = vld.disk
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.checksums = ChecksumStore(self.disk.sector_bytes)
+        self.disk.checksums = self.checksums
+        self.quarantine = QuarantineTable(
+            entries_per_chunk(vld.map_record_bytes)
+        )
+        #: FIFO of sectors that needed a retry or failed a read; volatile
+        #: (suspects are re-discovered by the reads that hit them again).
+        self.suspects: List[int] = []
+        self.media_errors = 0
+        self.retries = 0
+        self.checksum_failures = 0
+        self._scrubber: Optional[MediaScrubber] = None
+
+    @property
+    def scrubber(self) -> MediaScrubber:
+        """The idle-time scrubber (created on first use)."""
+        if self._scrubber is None:
+            self._scrubber = MediaScrubber(self)
+        return self._scrubber
+
+    # ------------------------------------------------------------------
+    # The verified, retried read path
+    # ------------------------------------------------------------------
+
+    def read_sectors(
+        self,
+        sector: int,
+        count: int,
+        breakdown: Optional[Breakdown] = None,
+        timed: bool = True,
+    ) -> bytes:
+        """Read a sector run with checksum verification and retries.
+
+        Raises :class:`MediaError` when the policy is exhausted; backoff
+        pauses are charged as ``locate`` time (the head re-settling).
+        ``DeviceCrashed`` is *not* retried -- a dying drive is not a
+        marginal sector.
+        """
+        disk = self.disk
+        attempt = 1
+        last_fault: Optional[DeviceFault] = None
+        while True:
+            failed_sector: Optional[int] = None
+            data: Optional[bytes] = None
+            try:
+                if timed:
+                    data, cost = disk.read(sector, count, charge_scsi=False)
+                    if breakdown is not None:
+                        breakdown.add(cost)
+                else:
+                    data = disk.peek(sector, count)
+            except DeviceCrashed:
+                raise
+            except DeviceFault as fault:
+                last_fault = fault
+                failed_sector = (
+                    fault.sector if fault.sector is not None else sector
+                )
+            if data is not None:
+                bad = self.checksums.verify(sector, count, data)
+                if not bad:
+                    return data
+                self.checksum_failures += 1
+                failed_sector = bad[0]
+                last_fault = None
+            assert failed_sector is not None
+            self.note_suspect(failed_sector)
+            if attempt >= self.policy.max_attempts:
+                self.media_errors += 1
+                error = MediaError(
+                    f"sector {failed_sector} unreadable after "
+                    f"{attempt} attempt(s)",
+                    op="read",
+                    sector=failed_sector,
+                    count=count,
+                    attempt=attempt,
+                )
+                if last_fault is not None:
+                    raise error from last_fault
+                raise error
+            self.retries += 1
+            if timed:
+                pause = self.policy.backoff(attempt)
+                if pause > 0.0:
+                    if breakdown is not None:
+                        breakdown.charge("locate", pause)
+                    disk.clock.advance(pause)
+            attempt += 1
+
+    # ------------------------------------------------------------------
+    # Quarantine plumbing
+    # ------------------------------------------------------------------
+
+    def note_suspect(self, sector: int) -> None:
+        """Queue a sector for idle-time scrubbing (idempotent)."""
+        if sector in self.quarantine or sector in self.suspects:
+            return
+        self.suspects.append(sector)
+
+    def quarantine_sector(self, sector: int) -> bool:
+        """Retire one sector in both the table and the free map."""
+        fresh = self.quarantine.add(sector)
+        if fresh:
+            self.vld.freemap.quarantine(sector)
+            self.checksums.forget(sector)
+        return fresh
+
+    def persist_quarantine(self, timed: bool = True) -> Breakdown:
+        """Write the quarantine table through the virtual log (no-op when
+        the on-disk copy is current)."""
+        breakdown = Breakdown()
+        if not self.quarantine.dirty:
+            return breakdown
+        del timed  # appends always run on the drive's clock
+        for chunk_id in self.quarantine.chunk_ids():
+            breakdown.add(
+                self.vld.vlog.append(
+                    chunk_id, self.quarantine.chunk_payload(chunk_id)
+                )
+            )
+        self.quarantine.dirty = False
+        return breakdown
+
+    def load_quarantine(self, chunks: Dict[int, Iterable[int]]) -> None:
+        """Install a recovered quarantine (table + free map), typically
+        *before* the space rebuild so the blanket ``mark_free`` skips the
+        retired sectors automatically."""
+        self.quarantine.load(chunks)
+        self.vld.freemap.set_quarantined(self.quarantine.sectors)

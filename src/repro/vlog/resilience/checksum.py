@@ -1,0 +1,78 @@
+"""Per-sector checksum sidecar: the "CRC envelope" on every written sector.
+
+Real drives lay down out-of-band ECC bytes alongside each sector in the
+same head pass; the host never sees them, pays nothing for them, and the
+firmware verifies them on every read.  :class:`ChecksumStore` models that:
+:meth:`record` is invoked from inside :meth:`Disk.write`/:meth:`Disk.poke`
+(zero simulated time -- the ECC rides the data transfer) and
+:meth:`verify` is called only by the resilience layer's read path, so a
+VLD without the layer behaves bit-for-bit as before.
+
+The store survives crashes (real ECC is retained on the media with its
+sector, so recovery reads are verified too).  Sectors with no recorded
+checksum verify clean (an unwritten sector has no integrity claim), which
+is also what makes attaching the store to an already-used disk sound.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List
+
+
+class ChecksumStore:
+    """CRC32 per physical sector, maintained out-of-band."""
+
+    def __init__(self, sector_bytes: int) -> None:
+        if sector_bytes <= 0:
+            raise ValueError("sector_bytes must be positive")
+        self.sector_bytes = sector_bytes
+        self._crcs: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._crcs)
+
+    def record(self, sector: int, data: bytes) -> None:
+        """Recompute checksums for the sectors ``data`` just overwrote."""
+        sb = self.sector_bytes
+        view = memoryview(data)
+        for i in range(len(data) // sb):
+            self._crcs[sector + i] = (
+                zlib.crc32(view[i * sb : (i + 1) * sb]) & 0xFFFFFFFF
+            )
+
+    def recorded(self, sector: int) -> bool:
+        return sector in self._crcs
+
+    def forget(self, sector: int, count: int = 1) -> None:
+        """Drop checksums (e.g. when a sector is quarantined for good)."""
+        for s in range(sector, sector + count):
+            self._crcs.pop(s, None)
+
+    def verify(self, sector: int, count: int, data: bytes) -> List[int]:
+        """Sectors of ``data`` whose contents contradict their checksum."""
+        sb = self.sector_bytes
+        if len(data) < count * sb:
+            raise ValueError("data shorter than the claimed sector run")
+        bad: List[int] = []
+        view = memoryview(data)
+        for i in range(count):
+            stored = self._crcs.get(sector + i)
+            if stored is None:
+                continue
+            if zlib.crc32(view[i * sb : (i + 1) * sb]) & 0xFFFFFFFF != stored:
+                bad.append(sector + i)
+        return bad
+
+
+def silently_corrupt(disk, sector: int, count: int = 1) -> None:
+    """Fault injection: flip every bit of a sector run *behind the drive's
+    back* -- the raw image changes but the recorded checksums do not, so the
+    next verified read must notice.  (Writing via :meth:`Disk.poke` would
+    dutifully update the checksums, hiding the damage.)"""
+    if disk._data is None:
+        raise RuntimeError("disk was created with store_data=False")
+    sb = disk.sector_bytes
+    lo = sector * sb
+    hi = lo + count * sb
+    disk._data[lo:hi] = bytes(b ^ 0xFF for b in disk._data[lo:hi])

@@ -1,0 +1,82 @@
+"""The bad-sector quarantine table and its persistence format.
+
+Quarantined sectors are permanently retired: the free map refuses to hand
+them out again (see :meth:`FreeSpaceMap.quarantine`) and the scrubber has
+already migrated any live data off them.  The table itself is persisted
+*through the virtual log*: its contents are split into chunks whose ids
+live in ``[QUARANTINE_CHUNK_BASE, COMMIT_CHUNK_BASE)`` and appended like
+any map chunk, so it inherits the log's crash atomicity and youngest-wins
+recovery without a single reserved block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.vlog.entries import COMMIT_CHUNK_BASE, QUARANTINE_CHUNK_BASE
+
+
+class QuarantineTable:
+    """The set of retired physical sectors, chunked for log persistence.
+
+    Args:
+        chunk_capacity: Sector numbers per persisted chunk (the map-record
+            entry capacity, since quarantine chunks ride map records).
+    """
+
+    def __init__(self, chunk_capacity: int) -> None:
+        if chunk_capacity <= 0:
+            raise ValueError("chunk_capacity must be positive")
+        self.chunk_capacity = chunk_capacity
+        self.sectors: Set[int] = set()
+        #: True when the on-disk copy is stale (something was added).
+        self.dirty = False
+
+    def __len__(self) -> int:
+        return len(self.sectors)
+
+    def __contains__(self, sector: int) -> bool:
+        return sector in self.sectors
+
+    def add(self, sector: int) -> bool:
+        """Quarantine one sector; returns True when it is newly added."""
+        if sector < 0:
+            raise ValueError("sector numbers are non-negative")
+        if sector in self.sectors:
+            return False
+        self.sectors.add(sector)
+        self.dirty = True
+        return True
+
+    # ------------------------------------------------------------------
+    # Log persistence
+    # ------------------------------------------------------------------
+
+    def chunk_ids(self) -> List[int]:
+        """Ids of the log chunks the current table occupies."""
+        n_chunks = -(-len(self.sectors) // self.chunk_capacity)
+        return [QUARANTINE_CHUNK_BASE + i for i in range(n_chunks)]
+
+    def chunk_payload(self, chunk_id: int) -> List[int]:
+        """Entry list for one quarantine chunk (ascending sector numbers;
+        the split is deterministic, so relocation rewrites are stable)."""
+        if not QUARANTINE_CHUNK_BASE <= chunk_id < COMMIT_CHUNK_BASE:
+            raise ValueError(f"chunk {chunk_id} is not a quarantine chunk")
+        idx = chunk_id - QUARANTINE_CHUNK_BASE
+        ordered = sorted(self.sectors)
+        lo = idx * self.chunk_capacity
+        if lo >= len(ordered) and idx > 0:
+            raise ValueError(f"quarantine chunk {idx} is out of range")
+        return ordered[lo : lo + self.chunk_capacity]
+
+    def load(self, chunks: Dict[int, Iterable[int]]) -> None:
+        """Install recovered chunk payloads (replacing the table)."""
+        sectors: Set[int] = set()
+        for chunk_id, payload in chunks.items():
+            if not QUARANTINE_CHUNK_BASE <= chunk_id < COMMIT_CHUNK_BASE:
+                raise ValueError(
+                    f"chunk {chunk_id} is not a quarantine chunk"
+                )
+            sectors.update(payload)
+        self.sectors = sectors
+        self.dirty = False

@@ -1,0 +1,49 @@
+"""Bounded read-retry with deterministic simulated-time backoff.
+
+Transient media faults (a marginal sector, vibration, a recoverable servo
+error) often clear on a re-read after a short pause; firmware retries a
+handful of times with growing delays before declaring the sector dead.
+The backoff schedule here is a pure function of the attempt number, so
+runs are bit-for-bit reproducible under the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blockdev.interpose import DeviceFault
+
+
+class MediaError(DeviceFault):
+    """A sector remained unreadable (fault or checksum mismatch) after the
+    retry policy was exhausted.  Carries the same structured context as
+    other device faults (op, sector, attempt)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving a sector up.
+
+    Args:
+        max_attempts: Total read attempts (first try included).
+        initial_backoff: Pause before the second attempt, in seconds.
+        backoff_factor: Multiplier applied per further attempt.
+    """
+
+    max_attempts: int = 3
+    initial_backoff: float = 0.002
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.initial_backoff < 0.0:
+            raise ValueError("initial_backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Pause to insert *after* failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempts are numbered from 1")
+        return self.initial_backoff * self.backoff_factor ** (attempt - 1)

@@ -101,6 +101,10 @@ class VirtualLog:
         self._next_commit_slot = COMMIT_CHUNK_BASE
         self.last_txn_seen = 0
         self.recovered_committed_txns: Set[int] = set()
+        #: True when the last recovery traversal hit an unreadable record
+        #: (media failure, not normal pruning) -- the caller should fall
+        #: back to a full-disk reconstruction.
+        self.last_recovery_degraded = False
 
     def reset_volatile(self) -> None:
         """Drop all in-memory state (a crash on a fresh device)."""
@@ -114,6 +118,7 @@ class VirtualLog:
         self._free_commit_slots.clear()
         self._next_commit_slot = COMMIT_CHUNK_BASE
         self.recovered_committed_txns = set()
+        self.last_recovery_degraded = False
 
     # ------------------------------------------------------------------
     # Queries
@@ -401,7 +406,11 @@ class VirtualLog:
     # ------------------------------------------------------------------
 
     def recover_from_tail(
-        self, tail_block: int, timed: bool = True
+        self,
+        tail_block: int,
+        timed: bool = True,
+        repair: bool = True,
+        reader=None,
     ) -> Tuple[Dict[int, List[int]], Breakdown, int]:
         """Rebuild chunk contents by traversing the tree from ``tail_block``.
 
@@ -411,19 +420,37 @@ class VirtualLog:
 
         ``timed=False`` reads via :meth:`Disk.peek` (no simulated time), for
         tests that only care about correctness.
+
+        ``repair=False`` defers the reachability repair (relocating chunks
+        the pruned tree no longer reaches): the owner must call
+        :meth:`repair_reachability` once its free-space map reflects the
+        recovered state, or the relocation writes could land on live data.
+
+        ``reader`` (optional) is a fault-tolerant read callable
+        ``reader(sector, count, breakdown) -> Optional[bytes]`` returning
+        ``None`` for an unreadable run.  An unreadable *tail* raises
+        ``ValueError`` (the caller falls back to scanning); an unreadable
+        interior record merely prunes that edge and sets
+        :attr:`last_recovery_degraded` so the caller can escalate to a
+        full-disk reconstruction.
         """
         import heapq
 
         breakdown = Breakdown()
-        chunks: Dict[int, List[int]] = {}
-        youngest: Dict[int, Tuple[int, int]] = {}  # chunk -> (seqno, block)
+        self.last_recovery_degraded = False
         visited: Set[int] = set()
         records: Dict[int, MapRecord] = {}
         heap: List[Tuple[int, int]] = []
 
         def read_record(block: int) -> Optional[MapRecord]:
             sector = block * self.sectors_per_block
-            if timed:
+            if reader is not None:
+                raw = reader(sector, self.sectors_per_block, breakdown)
+                if raw is None:
+                    # Media failure (not normal pruning): remember it.
+                    self.last_recovery_degraded = True
+                    return None
+            elif timed:
                 raw, cost = self.disk.read(
                     sector, self.sectors_per_block, charge_scsi=False
                 )
@@ -437,20 +464,12 @@ class VirtualLog:
             raise ValueError(f"block {tail_block} does not hold a map record")
         heapq.heappush(heap, (-first.seqno, tail_block))
         records[tail_block] = first
-        #: every valid version encountered, per chunk, youngest first
-        candidates: Dict[int, List[Tuple[int, int]]] = {}
-        committed: Set[int] = set()
         while heap:
             neg_seqno, block = heapq.heappop(heap)
             if block in visited:
                 continue
             visited.add(block)
             record = records[block]
-            candidates.setdefault(record.chunk_id, []).append(
-                (record.seqno, block)
-            )
-            if record.is_commit and record.entries:
-                committed.add(record.entries[0])
             for pointer in record.pointers():
                 if pointer in visited or pointer in records:
                     continue
@@ -463,9 +482,41 @@ class VirtualLog:
                 records[pointer] = child
                 heapq.heappush(heap, (-child.seqno, pointer))
 
+        map_chunks = self._install_recovered(records, repair=repair)
+        return map_chunks, breakdown, len(visited)
+
+    def recover_from_records(
+        self, records: Dict[int, MapRecord], repair: bool = True
+    ) -> Tuple[Dict[int, List[int]], int]:
+        """Rebuild from *every* valid record found by a full-disk scan.
+
+        The last-resort reconstruction when the tail traversal is degraded
+        by unreadable records: threading is ignored entirely and the
+        youngest valid version of each chunk wins, which is sound because
+        sequence numbers are globally ordered and stale records are only
+        recycled *after* their successor commits.  Returns
+        ``(map_chunks, records_considered)``.
+        """
+        map_chunks = self._install_recovered(dict(records), repair=repair)
+        return map_chunks, len(records)
+
+    def _install_recovered(
+        self, records: Dict[int, MapRecord], repair: bool
+    ) -> Dict[int, List[int]]:
+        """Select effective chunk versions and rebuild in-memory state."""
+        candidates: Dict[int, List[Tuple[int, int]]] = {}
+        committed: Set[int] = set()
+        for block, record in records.items():
+            candidates.setdefault(record.chunk_id, []).append(
+                (record.seqno, block)
+            )
+            if record.is_commit and record.entries:
+                committed.add(record.entries[0])
         # Effective youngest per chunk: skip versions belonging to
         # transactions whose commit record was never found -- the
         # all-or-nothing guarantee (Section 3.2's atomic writes).
+        youngest: Dict[int, Tuple[int, int]] = {}
+        chunks: Dict[int, List[int]] = {}
         for chunk_id, versions in candidates.items():
             for seqno, block in sorted(versions, reverse=True):
                 record = records[block]
@@ -475,7 +526,7 @@ class VirtualLog:
                 chunks[chunk_id] = list(record.entries)
                 break
 
-        self._rebuild_state(youngest, records)
+        self._rebuild_state(youngest, records, repair=repair)
         # Expose transaction outcomes to owners (for id reuse and space
         # reclamation of uncommitted data blocks).
         self.recovered_committed_txns = committed
@@ -484,17 +535,17 @@ class VirtualLog:
             + [r.txn_id for r in records.values()]
         )
         # Map-chunk contents only; commit records are internal.
-        map_chunks = {
+        return {
             cid: payload
             for cid, payload in chunks.items()
             if cid < COMMIT_CHUNK_BASE
         }
-        return map_chunks, breakdown, len(visited)
 
     def _rebuild_state(
         self,
         youngest: Dict[int, Tuple[int, int]],
         records: Dict[int, MapRecord],
+        repair: bool = True,
     ) -> None:
         """Reconstitute the in-memory graph from recovered records."""
         self._nodes.clear()
@@ -545,11 +596,23 @@ class VirtualLog:
         self.tail = tail_block
         self.next_seqno = max_seqno + 1
         # After recovery the tail may no longer dominate every live record
-        # (stale edges were pruned); rewriting any unreachable chunks would
-        # restore the invariant.  Detect and repair:
-        unreachable = self._unreachable_live_blocks()
-        for block in unreachable:
-            self.relocate(self._nodes[block].chunk_id)
+        # (stale edges were pruned); rewriting any unreachable chunks
+        # restores the invariant.  Owners that must rebuild their free map
+        # first pass ``repair=False`` and call :meth:`repair_reachability`
+        # themselves -- relocating before the free map knows which blocks
+        # hold live data could allocate on top of them.
+        if repair:
+            self.repair_reachability()
+
+    def repair_reachability(self) -> Breakdown:
+        """Relocate any live records the tail no longer reaches, restoring
+        the reachability invariant; returns the latency paid."""
+        breakdown = Breakdown()
+        for block in self._unreachable_live_blocks():
+            node = self._nodes.get(block)
+            if node is not None:
+                breakdown.add(self.relocate(node.chunk_id))
+        return breakdown
 
     def _unreachable_live_blocks(self) -> List[int]:
         """Live record blocks not reachable from the tail via live edges."""
@@ -573,33 +636,53 @@ class VirtualLog:
     # Invariant checking (used heavily by the test suite)
     # ------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        """Raise AssertionError when internal consistency is violated."""
+    def invariant_violations(self) -> List[str]:
+        """Every internal-consistency violation, as human-readable strings
+        (empty means healthy).  The collecting form lets ``vlfsck`` report
+        all problems at once instead of dying on the first."""
+        problems: List[str] = []
         edges: Dict[int, Set[int]] = {}
         for block, node in self._nodes.items():
-            if not node.superseded:
-                assert self._chunk_location.get(node.chunk_id) == block, (
+            if (
+                not node.superseded
+                and self._chunk_location.get(node.chunk_id) != block
+            ):
+                problems.append(
                     f"chunk {node.chunk_id} location desynchronised"
                 )
-            assert len(node.targets) == len(set(node.targets)), (
-                "duplicate out-edges"
-            )
+            if len(node.targets) != len(set(node.targets)):
+                problems.append(f"record {block} has duplicate out-edges")
             for target in node.targets:
-                assert target in self._nodes, (
-                    f"record {block} holds dangling edge to {target}"
-                )
-                edges.setdefault(target, set()).add(block)
-        assert edges == self._in_edges, "in-edge sets desynchronised"
+                if target not in self._nodes:
+                    problems.append(
+                        f"record {block} holds dangling edge to {target}"
+                    )
+                else:
+                    edges.setdefault(target, set()).add(block)
+        if edges != self._in_edges:
+            problems.append("in-edge sets desynchronised")
         for block, node in self._nodes.items():
-            if block != self.tail:
-                assert self._in_edges.get(block), (
-                    f"live record {block} has no live in-edge"
-                )
+            if block != self.tail and not self._in_edges.get(block):
+                problems.append(f"live record {block} has no live in-edge")
         if self._nodes:
-            assert self.tail in self._nodes, "tail must be a live record"
-            tail_seqno = self._nodes[self.tail].seqno
-            for block, node in self._nodes.items():
-                if block != self.tail:
-                    assert node.seqno < tail_seqno, "tail must be youngest"
-        unreachable = self._unreachable_live_blocks()
-        assert not unreachable, f"live records unreachable: {unreachable}"
+            if self.tail not in self._nodes:
+                problems.append("tail must be a live record")
+            else:
+                tail_seqno = self._nodes[self.tail].seqno
+                for block, node in self._nodes.items():
+                    if block != self.tail and node.seqno >= tail_seqno:
+                        problems.append(
+                            f"record {block} is as young as the tail"
+                        )
+        if self.tail is None or self.tail in self._nodes:
+            unreachable = self._unreachable_live_blocks()
+            if unreachable:
+                problems.append(
+                    f"live records unreachable: {sorted(unreachable)}"
+                )
+        return problems
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError when internal consistency is violated."""
+        problems = self.invariant_violations()
+        assert not problems, "; ".join(problems)

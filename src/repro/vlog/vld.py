@@ -29,8 +29,15 @@ from repro.disk.disk import Disk
 from repro.disk.freemap import FreeSpaceMap
 from repro.sim.stats import Breakdown
 from repro.vlog.allocator import AllocationPolicy, EagerAllocator
+from repro.vlog.entries import QUARANTINE_CHUNK_BASE
 from repro.vlog.imap import IndirectionMap
-from repro.vlog.recovery import PowerDownStore, RecoveryOutcome, scan_for_tail
+from repro.vlog.recovery import (
+    PowerDownStore,
+    RecoveryOutcome,
+    scan_for_tail,
+    scan_records,
+)
+from repro.vlog.resilience import MediaError, ResilienceController, RetryPolicy
 from repro.vlog.virtual_log import VirtualLog
 
 
@@ -46,6 +53,13 @@ class VirtualLogDisk(BlockDevice):
         fill_threshold: Track fill target for ``TRACK_FILL`` (0.75).
         slack_fraction: Physical blocks withheld from the logical capacity
             so eager writing always finds somewhere to go.
+        resilience: Enable the media-fault resilience layer (per-sector
+            checksums verified on read, bounded retries, bad-sector
+            quarantine, idle-time scrubbing).  On by default; with no
+            faults injected its timing is identical to the layer being
+            absent (checksums are out-of-band, retries never fire, the
+            scrubber only runs when suspects exist).
+        retry_policy: Read-retry schedule for the resilience layer.
     """
 
     #: Physical block housing the firmware power-down record; never
@@ -60,6 +74,8 @@ class VirtualLogDisk(BlockDevice):
         policy: AllocationPolicy = AllocationPolicy.TRACK_FILL,
         fill_threshold: float = 0.75,
         slack_fraction: float = 0.02,
+        resilience: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if block_size % disk.sector_bytes != 0:
             raise ValueError("block size must be a multiple of the sector size")
@@ -107,8 +123,13 @@ class VirtualLogDisk(BlockDevice):
         self.vlog = VirtualLog(
             disk,
             self.map_allocator,
-            chunk_provider=self.imap.chunk_entries,
+            chunk_provider=self._chunk_contents,
             block_size=map_record_bytes,
+        )
+        #: Media-fault resilience layer (checksums, retries, quarantine,
+        #: scrubber), or ``None`` when disabled.
+        self.resilience: Optional[ResilienceController] = (
+            ResilienceController(self, retry_policy) if resilience else None
         )
         self.power_store = PowerDownStore(
             disk,
@@ -136,14 +157,60 @@ class VirtualLogDisk(BlockDevice):
             self._compactor = FreeSpaceCompactor(self)
         return self._compactor
 
+    def _chunk_contents(self, chunk_id: int) -> List[int]:
+        """Current contents of any non-commit log chunk: the indirection
+        map's entries, or the quarantine table's payload for chunk ids in
+        the quarantine range.  This is the log's ``chunk_provider``, so
+        relocations (compactor, reachability repair, scrubber) rewrite
+        every chunk kind faithfully."""
+        if chunk_id >= QUARANTINE_CHUNK_BASE:
+            if self.resilience is None:
+                raise ValueError(
+                    f"quarantine chunk {chunk_id} without a resilience layer"
+                )
+            return self.resilience.quarantine.chunk_payload(chunk_id)
+        return self.imap.chunk_entries(chunk_id)
+
+    def _read_physical(
+        self,
+        sector: int,
+        count: int,
+        breakdown: Optional[Breakdown],
+        timed: bool = True,
+    ) -> bytes:
+        """Read sectors through the resilience layer when present (checksum
+        verify + bounded retries), or straight from the disk otherwise."""
+        if self.resilience is not None:
+            return self.resilience.read_sectors(
+                sector, count, breakdown, timed=timed
+            )
+        if timed:
+            data, cost = self.disk.read(sector, count, charge_scsi=False)
+            if breakdown is not None:
+                breakdown.add(cost)
+            return data
+        return self.disk.peek(sector, count)
+
     def idle(self, seconds: float) -> None:
-        """Idle time goes to the compactor; any remainder simply passes."""
+        """Idle time goes to scrubbing suspects, then compaction; any
+        remainder simply passes.  The scrubber gate is cheap and almost
+        always closed: a VLD that never observed a fault spends every
+        idle cycle exactly as before."""
         if seconds < 0.0:
             raise ValueError("idle time must be non-negative")
-        deadline = self.disk.clock.now + seconds
-        if self.compaction_enabled:
-            self.compactor.run_for(seconds)
-        self.disk.clock.advance_to(deadline)
+        clock = self.disk.clock
+        deadline = clock.now + seconds
+        if (
+            self.resilience is not None
+            and self.resilience.scrubber.pending
+        ):
+            # Scrubbing rewrites the log: any stale power-down record
+            # must go first.
+            self._disarm_power_record(Breakdown())
+            self.resilience.scrubber.run_for(deadline - clock.now)
+        if self.compaction_enabled and clock.now < deadline:
+            self.compactor.run_for(deadline - clock.now)
+        clock.advance_to(deadline)
 
     # ------------------------------------------------------------------
     # BlockDevice interface
@@ -186,12 +253,11 @@ class VirtualLogDisk(BlockDevice):
     ) -> None:
         if run_start is None or run_len == 0:
             return
-        data, cost = self.disk.read(
+        data = self._read_physical(
             run_start * self.sectors_per_block,
             run_len * self.sectors_per_block,
-            charge_scsi=False,
+            breakdown,
         )
-        breakdown.add(cost)
         pieces.append(data)
 
     def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
@@ -268,12 +334,11 @@ class VirtualLogDisk(BlockDevice):
         if physical is None:
             old = bytes(self.block_size)
         else:
-            old, cost = self.disk.read(
+            old = self._read_physical(
                 physical * self.sectors_per_block,
                 self.sectors_per_block,
-                charge_scsi=False,
+                breakdown,
             )
-            breakdown.add(cost)
         merged = old[:offset] + data + old[offset + len(data) :]
         chunk_id = self.imap.chunk_id_of(lba)
         self._write_run(lba, merged, 0, 1, chunk_id, breakdown)
@@ -333,30 +398,151 @@ class VirtualLogDisk(BlockDevice):
             self.vlog.tail, self.vlog.next_seqno - 1, timed
         )
 
+    def _record_reader(self, timed: bool):
+        """Fault-tolerant record reader for the recovery traversal:
+        ``None`` for a run that stays unreadable after retries."""
+        resilience = self.resilience
+        assert resilience is not None
+
+        def reader(sector: int, count: int, breakdown: Breakdown):
+            try:
+                return resilience.read_sectors(
+                    sector, count, breakdown, timed=timed
+                )
+            except MediaError:
+                return None
+
+        return reader
+
+    def _track_reader(self, timed: bool):
+        """Fault-tolerant *track* reader for the scan paths: a failed
+        track read is re-driven record by record, zero-filling only the
+        runs that stay dead, so one bad sector costs one record, not a
+        whole track of them."""
+        resilience = self.resilience
+        assert resilience is not None
+        record_sectors = self.map_record_bytes // self.disk.sector_bytes
+        sector_bytes = self.disk.sector_bytes
+
+        def reader(sector: int, count: int, breakdown: Breakdown):
+            try:
+                return resilience.read_sectors(
+                    sector, count, breakdown, timed=timed
+                )
+            except MediaError:
+                pieces: List[bytes] = []
+                for offset in range(0, count, record_sectors):
+                    piece = min(record_sectors, count - offset)
+                    try:
+                        pieces.append(
+                            resilience.read_sectors(
+                                sector + offset,
+                                piece,
+                                breakdown,
+                                timed=timed,
+                            )
+                        )
+                    except MediaError:
+                        pieces.append(bytes(piece * sector_bytes))
+                return b"".join(pieces)
+
+        return reader
+
     def recover(self, timed: bool = True) -> RecoveryOutcome:
         """Rebuild all volatile state from the disk (Section 3.2).
 
         Reads the power-down record; when valid, traverses the virtual log
-        from the recorded tail.  Otherwise scans the disk for the youngest
-        checksummed map record and traverses from there.
+        from the recorded tail.  Otherwise -- or when the named tail block
+        is unreadable or corrupt -- scans the disk for the youngest
+        checksummed map record and traverses from there.  With the
+        resilience layer, reads retry with backoff, and if any record
+        stays unreadable the traversal is escalated to a youngest-wins
+        reconstruction over *every* valid record on the disk, so one dead
+        map sector costs one chunk's latest update at worst, never the
+        tree behind it.
         """
-        record, read_cost = self.power_store.read(timed)
-        breakdown = Breakdown().add(read_cost)
+        resilience = self.resilience
+        media_errors_before = (
+            resilience.media_errors if resilience is not None else 0
+        )
+        breakdown = Breakdown()
+        degraded = False
+        skip_sectors = (self.POWER_DOWN_BLOCK + 1) * self.sectors_per_block
+        if resilience is not None:
+            try:
+                raw = resilience.read_sectors(
+                    self.power_store._sector,
+                    self.power_store.sectors_per_block,
+                    breakdown,
+                    timed=timed,
+                )
+                record = self.power_store.parse(raw)
+            except MediaError:
+                record = None
+                degraded = True
+        else:
+            record, read_cost = self.power_store.read(timed)
+            breakdown.add(read_cost)
+        record_reader = (
+            self._record_reader(timed) if resilience is not None else None
+        )
+        track_reader = (
+            self._track_reader(timed) if resilience is not None else None
+        )
+
+        def scan():
+            return scan_for_tail(
+                self.disk,
+                self.map_record_bytes,
+                skip_sectors=skip_sectors,
+                timed=timed,
+                reader=track_reader,
+            )
+
         scanned = False
         blocks_scanned = 0
         if record is not None:
             tail = record[0]
         else:
             scanned = True
-            tail, scan_cost, blocks_scanned = scan_for_tail(
-                self.disk,
-                self.map_record_bytes,
-                skip_sectors=(self.POWER_DOWN_BLOCK + 1)
-                * self.sectors_per_block,
-                timed=timed,
-            )
+            tail, scan_cost, blocks_scanned = scan()
             breakdown.add(scan_cost)
         self._power_record_armed = False
+        chunks = None
+        records_read = 0
+        if tail is not None:
+            try:
+                chunks, traverse_cost, records_read = (
+                    self.vlog.recover_from_tail(
+                        tail,
+                        timed=timed,
+                        repair=False,
+                        reader=record_reader,
+                    )
+                )
+                breakdown.add(traverse_cost)
+            except ValueError:
+                # The named tail does not hold a readable map record
+                # (stale power-down record, or media failure on the tail
+                # block itself): fall back to the scan.  A tail the scan
+                # itself produced genuinely parsed moments ago; re-raise
+                # rather than loop.
+                if scanned:
+                    raise
+                degraded = True
+                scanned = True
+                tail, scan_cost, blocks_scanned = scan()
+                breakdown.add(scan_cost)
+                if tail is not None:
+                    chunks, traverse_cost, records_read = (
+                        self.vlog.recover_from_tail(
+                            tail,
+                            timed=timed,
+                            repair=False,
+                            reader=record_reader,
+                        )
+                    )
+                    breakdown.add(traverse_cost)
         if tail is None:
             # Nothing was ever written: a fresh device.
             self._reset_volatile_state()
@@ -366,13 +552,53 @@ class VirtualLogDisk(BlockDevice):
                 records_read=0,
                 blocks_scanned=blocks_scanned,
                 breakdown=breakdown,
+                degraded=degraded,
+                media_errors=(
+                    resilience.media_errors - media_errors_before
+                    if resilience is not None
+                    else 0
+                ),
             )
-        chunks, traverse_cost, records_read = self.vlog.recover_from_tail(
-            tail, timed=timed
-        )
-        breakdown.add(traverse_cost)
-        self.imap.load_chunks(chunks)
+        reconstructed = False
+        if self.vlog.last_recovery_degraded:
+            # An interior record was unreadable: the pruned traversal may
+            # have lost whole subtrees.  Escalate to the youngest-wins
+            # reconstruction over every valid record on disk.
+            degraded = True
+            reconstructed = True
+            records, scan_cost, examined = scan_records(
+                self.disk,
+                self.map_record_bytes,
+                skip_sectors=skip_sectors,
+                timed=timed,
+                reader=track_reader,
+            )
+            breakdown.add(scan_cost)
+            chunks, records_read = self.vlog.recover_from_records(
+                records, repair=False
+            )
+            blocks_scanned = max(blocks_scanned, examined)
+        assert chunks is not None
+        quarantine_chunks = {
+            cid: payload
+            for cid, payload in chunks.items()
+            if cid >= QUARANTINE_CHUNK_BASE
+        }
+        map_chunks = {
+            cid: payload
+            for cid, payload in chunks.items()
+            if cid < QUARANTINE_CHUNK_BASE
+        }
+        self.imap.load_chunks(map_chunks)
+        if resilience is not None:
+            # Install the quarantine *before* the space rebuild: the
+            # blanket mark_free below then skips retired sectors itself.
+            resilience.load_quarantine(quarantine_chunks)
         self._rebuild_space_state()
+        # Reachability repair was deferred past the space rebuild: its
+        # relocation appends allocate blocks, which is only safe once the
+        # free map knows where the recovered live data sits.
+        breakdown.add(self.vlog.repair_reachability())
         breakdown.add(self.power_store.clear(timed))
         return RecoveryOutcome(
             used_power_down_record=record is not None,
@@ -380,6 +606,16 @@ class VirtualLogDisk(BlockDevice):
             records_read=records_read,
             blocks_scanned=blocks_scanned,
             breakdown=breakdown,
+            degraded=degraded,
+            reconstructed=reconstructed,
+            media_errors=(
+                resilience.media_errors - media_errors_before
+                if resilience is not None
+                else 0
+            ),
+            quarantined_sectors=(
+                len(resilience.quarantine) if resilience is not None else 0
+            ),
         )
 
     def crash(self) -> None:
@@ -398,6 +634,16 @@ class VirtualLogDisk(BlockDevice):
         self.imap.load_chunks({})
         self.reverse.clear()
         self.vlog.reset_volatile()
+        if self.resilience is not None:
+            # Drive RAM is gone: suspects and the in-memory quarantine
+            # copy with it.  The table is reloaded from the log during
+            # recovery; un-persisted additions are re-discovered by the
+            # reads that will hit those sectors again.  (The checksum
+            # store survives -- it models out-of-band ECC retained on the
+            # media itself.)
+            self.resilience.suspects.clear()
+            self.resilience.quarantine.load({})
+            self.freemap.set_quarantined(())
         self._rebuild_space_state()
 
     def _rebuild_space_state(self) -> None:

@@ -398,3 +398,110 @@ class TestWrapDeviceAndFactory:
             assert b1 == b2
             assert bare.read_block(lba)[0] == stacked.read_block(lba)[0]
         assert bare_disk.clock.now == disk.clock.now
+
+
+class TestDeviceFaultContext:
+    def test_structured_fields_and_context(self):
+        fault = InjectedReadError(
+            "boom", op="read", lba=7, sector=56, count=2, attempt=3
+        )
+        assert fault.op == "read"
+        assert fault.context() == {
+            "op": "read", "lba": 7, "sector": 56, "count": 2, "attempt": 3
+        }
+
+    def test_context_drops_unset_fields(self):
+        fault = DeviceCrashed("gone", op="write", count=4)
+        assert fault.context() == {"op": "write", "count": 4}
+
+    def test_injectors_fill_fields(self, disk):
+        DiskFaultInjector(bad_sectors={80}).install(disk)
+        with pytest.raises(InjectedReadError) as excinfo:
+            disk.read(80, 1)
+        assert excinfo.value.sector == 80
+        assert excinfo.value.op == "read"
+
+
+class TestTracingFaultEvents:
+    def test_faulted_op_still_traced(self, device):
+        traced = TracingDevice(
+            FaultDevice(device, FaultPlan(read_error_rate=1.0))
+        )
+        with pytest.raises(InjectedReadError):
+            traced.read_block(3)
+        assert len(traced.events) == 1
+        event = traced.events[0]
+        assert event.fault == "InjectedReadError"
+        assert event.fault_context["lba"] == 3
+        assert event.elapsed == 0.0
+
+    def test_fault_event_serializes_to_jsonl(self, device):
+        sink = io.StringIO()
+        traced = TracingDevice(
+            FaultDevice(device, FaultPlan(read_error_rate=1.0)), sink=sink
+        )
+        with pytest.raises(InjectedReadError):
+            traced.read_block(9)
+        record = json.loads(sink.getvalue())
+        assert record["fault"] == "InjectedReadError"
+        assert record["fault_context"]["op"] == "read"
+
+
+class TestMetricsFaultedBucket:
+    def test_faults_land_in_their_own_bucket(self, device):
+        metrics = MetricsDevice(
+            FaultDevice(device, FaultPlan(read_error_rate=1.0))
+        )
+        metrics.write_block(1, PAYLOAD)
+        with pytest.raises(InjectedReadError):
+            metrics.read_block(1)
+        assert metrics.faulted == {"read": 1}
+        assert metrics.ops == {"write": 1}  # completed ops unpolluted
+        assert "read" not in metrics.op_latency
+
+    def test_faulted_device_time_not_misread_as_host_time(self, disk):
+        """A faulted operation that consumed simulated time (VLD read
+        retries with backoff before escalating) must charge that time to
+        the faulted bucket, not leak it into the next op's host gap."""
+        from repro.vlog.resilience import MediaError
+
+        vld = VirtualLogDisk(disk)
+        vld.write_block(0, PAYLOAD)
+        sector = vld.imap.get(0) * vld.sectors_per_block
+        metrics = MetricsDevice(vld)
+        DiskFaultInjector(bad_sectors={sector}).install(disk)
+        with pytest.raises(MediaError):
+            metrics.read_block(0)
+        assert metrics.faulted == {"read": 1}
+        assert metrics.faulted_seconds > 0.0
+        host_before = metrics.host_seconds
+        metrics.write_block(1, PAYLOAD)
+        # Back-to-back ops: no host gap should have been inferred.
+        assert metrics.host_seconds == pytest.approx(host_before)
+
+
+class TestSectorGranularInjection:
+    def test_bad_sectors_fail_every_touching_read(self, disk):
+        DiskFaultInjector(bad_sectors={100}).install(disk)
+        for _ in range(3):
+            with pytest.raises(InjectedReadError):
+                disk.read(96, 8)
+        data, _ = disk.read(104, 8)  # a run that avoids the defect
+        assert len(data) == 8 * disk.sector_bytes
+
+    def test_flaky_sectors_reroll_per_attempt(self, disk):
+        injector = DiskFaultInjector(
+            flaky_sectors={100: 1.0}, seed=0
+        ).install(disk)
+        with pytest.raises(InjectedReadError):
+            disk.read(100, 1)
+        injector.flaky_sectors[100] = 0.0  # transient: next attempt clean
+        data, _ = disk.read(100, 1)
+        assert len(data) == disk.sector_bytes
+        assert injector.read_errors_raised == 1
+
+    def test_writes_never_fault_on_degraded_sectors(self, disk):
+        DiskFaultInjector(
+            bad_sectors={100}, flaky_sectors={101: 1.0}
+        ).install(disk)
+        disk.write(100, 2, b"\x77" * 2 * disk.sector_bytes)  # no raise

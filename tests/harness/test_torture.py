@@ -1,0 +1,129 @@
+"""Tests for the composed-fault torture harness.
+
+The harness is itself a checker, so the important test is the
+*checker-mutation* one: plant a bug (acked writes that never commit)
+and prove the torture point catches it, then prove the minimizer can
+shrink that failing plan while keeping it failing.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.torture import (
+    FAMILIES,
+    WORKLOADS,
+    long_set,
+    matrix,
+    minimize,
+    quick_set,
+    torture_point,
+    write_repro,
+)
+from repro.sim.stats import Breakdown
+from repro.vlog.virtual_log import VirtualLog
+
+
+class TestTorturePoint:
+    def test_crash_torn_point_survives(self):
+        verdict = torture_point(
+            workload="small_writes", ops=60, crash_after=20, torn=True, seed=0
+        )
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["failures"] == []
+        assert verdict["crashed_at"] is not None
+        assert not verdict["orderly"]
+        assert verdict["fsck"].get("violations", 0) == 0
+        assert verdict["fsck"]["checked_blocks"] > 0
+
+    def test_orderly_point_uses_power_record(self):
+        verdict = torture_point(
+            workload="overwrites", ops=40, crash_after=None, torn=False, seed=1
+        )
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["orderly"]
+        assert verdict["recovery"]["used_power_down_record"]
+
+    def test_flaky_point_exercises_retries(self):
+        verdict = torture_point(
+            workload="bursty_idle", ops=100, flaky=6, flaky_rate=0.5, seed=0
+        )
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["counters"]["retries"] > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            torture_point(workload="nope")
+
+    def test_deterministic_verdicts(self):
+        a = torture_point(workload="sequential", ops=50, crash_after=15, seed=3)
+        b = torture_point(workload="sequential", ops=50, crash_after=15, seed=3)
+        assert a == b
+
+
+class TestMatrix:
+    def test_quick_set_covers_every_workload_and_family(self):
+        points = quick_set()
+        assert len(points) == len(WORKLOADS) * len(FAMILIES)
+        params = [p.params for p in points]
+        assert {p["workload"] for p in params} == set(WORKLOADS)
+
+    def test_long_set_is_the_multi_seed_grid(self):
+        assert len(long_set()) == 8 * len(WORKLOADS) * len(FAMILIES)
+
+    def test_points_name_the_importable_fn(self):
+        point = matrix(seeds=(0,))[0]
+        assert point.fn_name == "repro.harness.torture:torture_point"
+
+
+class TestCheckerMutation:
+    """Plant a real durability bug and prove the torture point sees it."""
+
+    @pytest.fixture()
+    def lost_commits(self, monkeypatch):
+        # Acked writes update the in-memory map but the map chunk never
+        # reaches the log: every crash silently loses acknowledged data.
+        monkeypatch.setattr(
+            VirtualLog, "append",
+            lambda self, chunk_id, entries, txn_id=0: Breakdown(),
+        )
+
+    def test_mutation_is_caught(self, lost_commits):
+        verdict = torture_point(
+            workload="small_writes", ops=60, crash_after=20, torn=False, seed=0
+        )
+        assert not verdict["ok"]
+        assert verdict["failures"]
+
+    def test_minimizer_shrinks_and_stays_failing(self, lost_commits):
+        params = dict(
+            workload="small_writes", ops=60, crash_after=20, torn=False
+        )
+        minimized = minimize(dict(params), seed=0)
+        assert minimized["params"]["ops"] <= params["ops"]
+        assert minimized["runs"] <= 40
+        assert not torture_point(seed=0, **minimized["params"])["ok"]
+
+    def test_write_repro_artifact(self, lost_commits, tmp_path):
+        verdict = torture_point(
+            workload="small_writes", ops=60, crash_after=20, torn=False, seed=0
+        )
+        verdict["params"] = dict(
+            workload="small_writes", ops=60, crash_after=20, torn=False
+        )
+        minimized = {"params": verdict["params"], "seed": 0, "runs": 1}
+        path = write_repro(verdict, minimized, directory=str(tmp_path))
+        assert os.path.dirname(path) == str(tmp_path)
+        artifact = json.loads(open(path).read())
+        assert artifact["fn"] == "repro.harness.torture:torture_point"
+        assert "torture_point(" in artifact["reproduce"]
+        assert artifact["failures"]
+
+    def test_minimize_refuses_passing_plan(self):
+        with pytest.raises(ValueError, match="failing plan"):
+            minimize(
+                dict(workload="small_writes", ops=30, crash_after=10,
+                     torn=False),
+                seed=0,
+            )

@@ -213,3 +213,55 @@ class TestTailGeometryValidation:
         assert outcome.scanned
         assert not outcome.used_power_down_record
         assert vld.read_block(0)[0] == payload
+
+
+class TestUnreadableTailMediaError:
+    """A *valid* power-down record whose named tail block then fails with
+    a media error (not CRC corruption) must fall back to the scan."""
+
+    def test_valid_record_dead_tail_block_recovers_by_scan(self):
+        from repro.blockdev.interpose import DiskFaultInjector
+        from repro.vlog.vld import VirtualLogDisk
+
+        disk = Disk(ST19101, num_cylinders=2)
+        vld = VirtualLogDisk(disk)
+        for lba in range(6):
+            vld.write_block(lba, bytes([lba + 1]) * vld.block_size)
+        vld.power_down()
+        tail_sector = vld.vlog.tail * vld.vlog.sectors_per_block
+        vld.crash()
+        # The record is intact; only the tail block's media has died.
+        DiskFaultInjector(bad_sectors={tail_sector}).install(disk)
+        outcome = vld.recover()
+        assert outcome.used_power_down_record  # the record itself parsed
+        assert outcome.scanned  # ... but the traversal had to re-seed
+        assert outcome.degraded
+        assert outcome.media_errors > 0
+        # The dead record held the youngest chunk-0 state; the scan
+        # recovers the youngest *readable* records, so at most that one
+        # chunk's final update is stale -- and the device serves reads.
+        for lba in range(6):
+            data, _ = vld.read_block(lba)
+            assert len(data) == vld.block_size
+
+    def test_nonresilient_vld_scan_fallback_still_works(self):
+        """Without the resilience layer the same situation (tail block
+        corrupt rather than erroring) routes through the scan too."""
+        from repro.vlog.vld import VirtualLogDisk
+
+        disk = Disk(ST19101, num_cylinders=2)
+        vld = VirtualLogDisk(disk, resilience=False)
+        for lba in range(4):
+            vld.write_block(lba, bytes([lba + 1]) * vld.block_size)
+        vld.power_down()
+        tail_sector = vld.vlog.tail * vld.vlog.sectors_per_block
+        vld.crash()
+        raw = bytearray(disk.peek(tail_sector, 1))
+        raw[20] ^= 0xFF  # corrupt the record body: CRC now fails
+        disk.poke(tail_sector, bytes(raw))
+        outcome = vld.recover()
+        assert outcome.used_power_down_record
+        assert outcome.scanned
+        for lba in range(4):
+            data, _ = vld.read_block(lba)
+            assert len(data) == vld.block_size
