@@ -12,6 +12,9 @@ block pays for (Section 4.2's per-write free-space query):
   cycles under the paper's TRACK_FILL policy.
 * ``compactor_pass``    -- blocks moved per wall-second by the idle-time
   free-space compactor on a fragmented VLD.
+* ``satf_pick_next``    -- SATF pick-next over a full queue: the per-service
+  cost the request scheduler pays pricing every pending request with the
+  mechanics model.
 
 Wall-clock numbers are useless across machines, so every metric is also
 recorded *normalized*: divided by the throughput of a fixed pure-Python
@@ -50,7 +53,7 @@ from repro.vlog.allocator import AllocationPolicy, EagerAllocator
 from repro.vlog.vld import VirtualLogDisk
 
 #: Bump when the metric set or workload shapes change incompatibly.
-SCHEMA = 1
+SCHEMA = 2
 
 #: Metrics the regression gate compares (all normalized ops/sec,
 #: higher is better).
@@ -59,6 +62,7 @@ GATED_METRICS = (
     "mark_roundtrip",
     "allocator_throughput",
     "compactor_pass",
+    "satf_pick_next",
 )
 
 #: Minimum bitmap-vs-reference speedup on the free-run query (the PR's
@@ -199,6 +203,43 @@ def bench_compactor_pass(repeats: int = 2) -> float:
     return _best_of(repeats, once)
 
 
+def bench_satf_pick_next(
+    depth: int = 16, picks: int = 4000, repeats: int = 3
+) -> float:
+    """ops/sec of ``SATFPolicy.pick`` over a ``depth``-deep queue of
+    random pending requests (prices every candidate with the mechanics
+    model -- the scheduler's per-service hot path)."""
+    from repro.sched.policies import SATFPolicy
+    from repro.sched.scheduler import DiskRequest
+
+    disk = Disk(ST19101, store_data=False)
+    rng = random.Random(0x5A7F)
+    policy = SATFPolicy()
+    queues = []
+    for _ in range(64):
+        queues.append([
+            DiskRequest(
+                "write",
+                rng.randrange(disk.total_sectors - 8),
+                8,
+                None,
+                False,
+                seq,
+                0.0,
+            )
+            for seq in range(depth)
+        ])
+
+    def once() -> float:
+        start = time.perf_counter()
+        for i in range(picks):
+            policy.pick(queues[i % len(queues)], disk)
+        elapsed = time.perf_counter() - start
+        return picks / elapsed
+
+    return _best_of(repeats, once)
+
+
 def run_suite() -> Dict:
     """Run every metric; returns the BENCH_hotpath.json payload."""
     calibration = calibration_ops_per_sec()
@@ -210,6 +251,7 @@ def run_suite() -> Dict:
         "mark_roundtrip": bench_mark_roundtrip(),
         "allocator_throughput": bench_allocator_throughput(),
         "compactor_pass": bench_compactor_pass(),
+        "satf_pick_next": bench_satf_pick_next(),
     }
     return {
         "schema": SCHEMA,

@@ -431,6 +431,15 @@ class MetricsDevice(ObservingDevice):
     device -- system call, file system code, driver.  That inferred time
     is reported as the ``other`` component, which is how the Figure 9
     breakdown is regenerated from this layer's data alone.
+
+    The inference is queue-aware: once the wrapped device runs a request
+    scheduler with outstanding requests, the time between two completions
+    is the *device* draining its queue, not host compute.  Gaps that open
+    while requests were outstanding are therefore accumulated separately
+    (``overlapped_seconds``) instead of being double-counted as host time.
+    The depth observed after each operation also feeds a queue-depth
+    sample histogram, and per-op service-time percentiles (p50/p95/p99)
+    are available from the latency histograms.
     """
 
     def __init__(self, inner: BlockDevice) -> None:
@@ -452,7 +461,42 @@ class MetricsDevice(ObservingDevice):
         self.faulted_seconds = 0.0
         self.host_seconds = 0.0
         self.idle_seconds = 0.0
+        #: Clock gaps that opened while the device still had queued
+        #: requests outstanding: device overlap, not host compute.
+        self.overlapped_seconds = 0.0
+        #: Queue depth observed after each operation -> sample count.
+        self.queue_depth_samples: Dict[int, int] = {}
+        self.max_outstanding = 0
         self._last_end: Optional[float] = self._clock_now()
+        self._last_outstanding = self._outstanding_now()
+
+    def _outstanding_now(self) -> int:
+        """Requests currently queued below us (0 for unscheduled devices).
+
+        Duck-typed: any wrapped device exposing a ``scheduler`` with an
+        ``outstanding`` count participates; plain devices never overlap.
+        """
+        scheduler = getattr(self.inner, "scheduler", None)
+        if scheduler is None:
+            return 0
+        return int(getattr(scheduler, "outstanding", 0))
+
+    def _attribute_gap(self, start: float) -> None:
+        if self._last_end is not None and start > self._last_end:
+            gap = start - self._last_end
+            if self._last_outstanding > 0:
+                self.overlapped_seconds += gap
+            else:
+                self.host_seconds += gap
+
+    def _sample_queue(self) -> None:
+        depth = self._outstanding_now()
+        self._last_outstanding = depth
+        self.queue_depth_samples[depth] = (
+            self.queue_depth_samples.get(depth, 0) + 1
+        )
+        if depth > self.max_outstanding:
+            self.max_outstanding = depth
 
     def _note(self, op, lba, count, breakdown, start) -> None:
         self.ops[op] = self.ops.get(op, 0) + 1
@@ -462,9 +506,9 @@ class MetricsDevice(ObservingDevice):
         )
         for name in COMPONENTS:
             self.component_hist[name].record(getattr(breakdown, name))
-        if self._last_end is not None and start > self._last_end:
-            self.host_seconds += start - self._last_end
+        self._attribute_gap(start)
         self._last_end = self._clock_now()
+        self._sample_queue()
 
     def _note_fault(self, op, lba, count, fault, start) -> None:
         # Without this hook a mid-operation fault left the op half
@@ -475,18 +519,19 @@ class MetricsDevice(ObservingDevice):
         # advance the gap origin past whatever time the aborted operation
         # consumed.
         self.faulted[op] = self.faulted.get(op, 0) + 1
-        if self._last_end is not None and start > self._last_end:
-            self.host_seconds += start - self._last_end
+        self._attribute_gap(start)
         end = self._clock_now()
         if end > start:
             self.faulted_seconds += end - start
         self._last_end = end
+        self._last_outstanding = self._outstanding_now()
 
     def _note_idle(self, seconds: float) -> None:
         # Idle time is neither device nor host work; advance the gap
         # origin past it so it is not misread as host processing.
         self.idle_seconds += seconds
         self._last_end = self._clock_now()
+        self._last_outstanding = self._outstanding_now()
 
     # -- reporting -----------------------------------------------------
 
@@ -514,6 +559,29 @@ class MetricsDevice(ObservingDevice):
     def device_seconds(self) -> float:
         return sum(self.component_hist[name].sum for name in COMPONENTS)
 
+    def queue_stats(self) -> Dict[str, float]:
+        """Queue-depth accounting: mean/max observed depth and the time
+        that passed under outstanding requests."""
+        samples = sum(self.queue_depth_samples.values())
+        weighted = sum(
+            depth * n for depth, n in self.queue_depth_samples.items()
+        )
+        return {
+            "mean_depth": weighted / samples if samples else 0.0,
+            "max_depth": float(self.max_outstanding),
+            "overlapped_seconds": self.overlapped_seconds,
+        }
+
+    def service_percentiles(self, op: Optional[str] = None) -> Dict[str, float]:
+        """p50/p95/p99 of per-op service time, for one op or all merged."""
+        if op is not None:
+            hist = self.op_latency.get(op)
+            return hist.percentiles() if hist else LatencyHistogram().percentiles()
+        merged = LatencyHistogram()
+        for hist in self.op_latency.values():
+            merged.merge(hist)
+        return merged.percentiles()
+
     def summary(self) -> str:
         """One-line human-readable summary (latencies in milliseconds)."""
         ops = " ".join(
@@ -528,6 +596,11 @@ class MetricsDevice(ObservingDevice):
             f"ops[{ops}] device={self.device_seconds() * 1e3:.3f}ms "
             f"host={self.host_seconds * 1e3:.3f}ms [{parts}]"
         )
+        if self.max_outstanding:
+            line += (
+                f" queue[max={self.max_outstanding}"
+                f" overlap={self.overlapped_seconds * 1e3:.3f}ms]"
+            )
         if self.faulted:
             faults = " ".join(
                 f"{op}={self.faulted[op]}" for op in sorted(self.faulted)

@@ -15,7 +15,7 @@ ablation benchmark).
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 class ReadAheadPolicy(enum.Enum):
@@ -90,6 +90,53 @@ class TrackBuffer:
             # Read-ahead from the request start to the end of the track.
             self._segment = (track_key, request_start, track_hi)
         return False
+
+    def note_read_span(
+        self, spans: Sequence[Tuple[Tuple[int, int], int, int, int, int]]
+    ) -> List[bool]:
+        """Record one request that spans several tracks; returns per-track
+        hit flags.
+
+        ``spans`` lists ``(track_key, track_lo, track_hi, start, count)``
+        per touched track, in ascending linear order (adjacent entries are
+        linearly contiguous, as produced by the disk's chunking).  Every
+        span is judged against the segment as it stood *before* this
+        request -- feeding the tracks through :meth:`note_read` one at a
+        time would let the first track's refill evict the data the later
+        tracks were about to hit, so a boundary-spanning request could
+        never be served from the buffer twice running.  On any miss the
+        refill covers the whole request: the read-ahead point is the end of
+        the *last* track touched.
+        """
+        if self.policy is ReadAheadPolicy.DISABLED:
+            self.misses += len(spans)
+            return [False] * len(spans)
+        segment = self._segment
+        hits: List[bool] = []
+        for _key, _track_lo, _track_hi, start, count in spans:
+            hit = (
+                segment is not None
+                and segment[1] <= start
+                and start + count <= segment[2]
+            )
+            hits.append(hit)
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+        request_start = spans[0][3]
+        last_key, _, last_hi, _, _ = spans[-1]
+        if all(hits):
+            if self.policy is ReadAheadPolicy.DARTMOUTH:
+                # Discard data whose addresses are lower than this request.
+                key, _lo, hi = segment  # type: ignore[misc]
+                self._segment = (key, request_start, hi)
+            return hits
+        if self.policy is ReadAheadPolicy.FULL_TRACK:
+            self._segment = (last_key, spans[0][1], last_hi)
+        else:
+            self._segment = (last_key, request_start, last_hi)
+        return hits
 
     def note_write(self, sector: int, count: int) -> None:
         """Writes invalidate any overlapping cached range."""

@@ -182,13 +182,18 @@ class Disk:
         if charge_scsi:
             breakdown.charge("scsi", self.spec.scsi_overhead)
             self.clock.advance(self.spec.scsi_overhead)
+        chunks = []
         remaining = count
         cursor = sector
         while remaining > 0:
             chunk = self._chunk_within_track(cursor, remaining)
-            self._service_read_chunk(cursor, chunk, breakdown)
+            chunks.append((cursor, chunk))
             cursor += chunk
             remaining -= chunk
+        if len(chunks) == 1:
+            self._service_read_chunk(sector, count, breakdown)
+        else:
+            self._service_read_span(chunks, breakdown)
         self.counters.note_read(count, self.clock.now - start)
         if self._data is None:
             data = b""
@@ -264,6 +269,28 @@ class Disk:
             self.clock.advance(transfer)
             return
         self._position_and_transfer(sector, count, breakdown)
+
+    def _service_read_span(self, chunks, breakdown: Breakdown) -> None:
+        """Service a read that crosses track boundaries: the buffer judges
+        the whole request at once (see ``TrackBuffer.note_read_span``),
+        then each per-track piece is either delivered from the buffer or
+        read from the media."""
+        per_track = self.geometry.sectors_per_track
+        spans = []
+        for cursor, chunk in chunks:
+            cylinder, head, _sect = self.geometry.decompose(cursor)
+            track_lo = self.geometry.track_start(cylinder, head)
+            spans.append(
+                ((cylinder, head), track_lo, track_lo + per_track, cursor, chunk)
+            )
+        hits = self.cache.note_read_span(spans)
+        for (cursor, chunk), hit in zip(chunks, hits):
+            if hit:
+                transfer = self.mechanics.transfer_time(chunk)
+                breakdown.charge("transfer", transfer)
+                self.clock.advance(transfer)
+            else:
+                self._position_and_transfer(cursor, chunk, breakdown)
 
     def _service_write_chunk(
         self, sector: int, count: int, breakdown: Breakdown

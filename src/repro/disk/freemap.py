@@ -386,22 +386,26 @@ class FreeSpaceMap:
         whose candidates are penalised by the head-switch time expressed in
         sector slots.
 
-        Returns ``(cost_slots, linear_sector, head)`` or ``None``.
+        Returns ``(cost_slots, linear_sector, head)`` or ``None``, where
+        ``cost_slots`` is the angular delay from ``start_slot`` until the
+        write could begin.  Non-current tracks are queried from the
+        *post-settle* slot (``start_slot + head_switch_slots``): a run
+        inside the settle window is reachable only a revolution later, so
+        the nearest run *after* the window -- which a query from
+        ``start_slot`` would never surface -- is the one that competes.
         """
         best: Optional[Tuple[float, int, int]] = None
-        n = self.geometry.sectors_per_track
         for head in range(self.geometry.tracks_per_cylinder):
             penalty = 0.0 if head == current_head else head_switch_slots
-            found = self.nearest_free_run(cylinder, head, start_slot, count, align)
+            found = self.nearest_free_run(
+                cylinder, head, start_slot + penalty, count, align
+            )
             if found is None:
                 continue
             gap, linear = found
-            if head != current_head and gap < penalty:
-                # The head cannot settle in time for this pass; the run is
-                # reachable only one full revolution later.
-                gap += n
-            if best is None or gap < best[0]:
-                best = (gap, linear, head)
+            cost = penalty + gap
+            if best is None or cost < best[0]:
+                best = (cost, linear, head)
         return best
 
     # ------------------------------------------------------------------
@@ -623,16 +627,17 @@ class ReferenceFreeSpaceMap:
         head_switch_slots: float = 0.0,
     ) -> Optional[Tuple[float, int, int]]:
         best: Optional[Tuple[float, int, int]] = None
-        n = self.geometry.sectors_per_track
         for head in range(self.geometry.tracks_per_cylinder):
-            found = self.nearest_free_run(cylinder, head, start_slot, count, align)
+            penalty = 0.0 if head == current_head else head_switch_slots
+            found = self.nearest_free_run(
+                cylinder, head, start_slot + penalty, count, align
+            )
             if found is None:
                 continue
             gap, linear = found
-            if head != current_head and gap < head_switch_slots:
-                gap += n
-            if best is None or gap < best[0]:
-                best = (gap, linear, head)
+            cost = penalty + gap
+            if best is None or cost < best[0]:
+                best = (cost, linear, head)
         return best
 
     def free_sector_iter(self, cylinder: int, head: int) -> Iterator[int]:

@@ -17,6 +17,13 @@ figure is near-instant (any source edit invalidates transparently),
 ``--no-cache`` disables the cache, and ``--cache-stats`` prints
 hit/miss/submission counts after each experiment.
 
+Queue flags apply to every device stack the experiments build:
+``--queue-depth N`` lets each core device keep ``N`` requests
+outstanding in its internal scheduler, and ``--sched POLICY`` picks the
+service order (``fifo``, ``scan``, ``satf``).  The defaults (depth 1,
+FIFO) reproduce the unscheduled baseline byte-for-byte; anything else
+changes timings, so these flags force inline, uncached execution.
+
 Resilience flags: ``--torture`` runs the composed-fault torture matrix
 (crash/torn/flaky/read-error plans over every workload; ``--full``
 widens it to the weekly multi-seed grid) instead of the experiments,
@@ -67,6 +74,7 @@ _QUICK = {
         burst_kbs=[128, 512, 2048], idle_seconds=[0.0, 0.1, 0.3, 0.6],
         bursts=4,
     ),
+    "figure_qdepth": dict(depths=[1, 2, 4], requests=150),
 }
 
 _FULL = {
@@ -78,10 +86,11 @@ _FULL = {
     "table2": dict(),
     "figure10": dict(),
     "figure11": dict(),
+    "figure_qdepth": dict(),
 }
 
 _ALL = ["table1", "figure1", "figure2", "figure6", "figure7", "figure8",
-        "table2", "figure9", "figure10", "figure11"]
+        "table2", "figure9", "figure10", "figure11", "figure_qdepth"]
 
 
 def _print_result(name: str, result) -> None:
@@ -161,6 +170,20 @@ def _print_result(name: str, result) -> None:
                 title=f"{name}: burst {burst}",
             ))
             print()
+    elif name == "figure_qdepth":
+        for workload, per_policy in result.items():
+            depths = next(iter(per_policy.values()))["queue_depth"]
+            rows = [
+                [int(d)] + [
+                    per_policy[p]["mean_service_ms"][i] for p in per_policy
+                ]
+                for i, d in enumerate(depths)
+            ]
+            print(format_table(
+                ["depth", *(f"{p} (ms)" for p in per_policy)], rows,
+                title=f"figure_qdepth: {workload} (mean service)",
+            ))
+            print()
     else:  # pragma: no cover - defensive
         print(result)
 
@@ -194,6 +217,13 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-stats", action="store_true",
                         help="print sweep cache/executor statistics after "
                              "each experiment")
+    parser.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                        help="request-queue depth for every device stack "
+                             "(default: 1, the unscheduled baseline)")
+    parser.add_argument("--sched", default=None, metavar="POLICY",
+                        choices=("fifo", "scan", "elevator", "satf"),
+                        help="request scheduling policy: fifo, scan, satf "
+                             "(default: fifo)")
     parser.add_argument("--torture", action="store_true",
                         help="run the composed-fault torture matrix "
                              "(with --full: the weekly multi-seed grid)")
@@ -208,6 +238,21 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 1")
     if args.scrub:
         return _run_scrub_demo()
+    if args.queue_depth is not None or args.sched is not None:
+        depth = args.queue_depth if args.queue_depth is not None else 1
+        if depth < 1:
+            parser.error("--queue-depth must be >= 1")
+        configs.set_default_queue((depth, args.sched or "fifo"))
+        # The queue default is process-global state the cache key and the
+        # worker processes do not see -- run inline and uncached.
+        if args.jobs > 1:
+            print("[sweep: --queue-depth/--sched force --jobs 1]",
+                  file=sys.stderr)
+            args.jobs = 1
+        if not args.no_cache:
+            print("[sweep: queue flags disable the result cache]",
+                  file=sys.stderr)
+            args.no_cache = True
     if args.torture:
         cache = None if args.no_cache else ResultCache(args.cache)
         with sweep.configured(jobs=args.jobs, cache=cache):

@@ -42,6 +42,12 @@ class StackConfig:
     host_name: str = "sparc10"
     nvram: bool = False
     num_cylinders: int = 0  # 0 = the spec's simulated default
+    # Request-queue settings for the core device's internal scheduler.
+    # Depth 1 + FIFO is the unscheduled baseline (byte-identical figures);
+    # the process-wide default (set_default_queue) overrides when a config
+    # keeps these at their baseline values.
+    queue_depth: int = 1
+    sched: str = "fifo"
     # Interposer flags (combined with the process-wide default).
     trace: bool = False
     metrics: bool = False
@@ -77,6 +83,30 @@ def set_default_interpose(options: Optional[InterposeOptions]) -> None:
 
 def default_interpose() -> Optional[InterposeOptions]:
     return _DEFAULT_INTERPOSE
+
+
+#: Process-wide request-queue default (queue_depth, sched), applied to any
+#: stack whose config keeps the baseline depth-1 FIFO (the harness CLI sets
+#: this for --queue-depth/--sched).
+_DEFAULT_QUEUE: Optional[Tuple[int, str]] = None
+
+
+def set_default_queue(queue: Optional[Tuple[int, str]]) -> None:
+    """Set (or clear, with ``None``) the process-wide queue default."""
+    global _DEFAULT_QUEUE
+    _DEFAULT_QUEUE = queue
+
+
+def default_queue() -> Optional[Tuple[int, str]]:
+    return _DEFAULT_QUEUE
+
+
+def _effective_queue(config: StackConfig) -> Tuple[int, str]:
+    if (config.queue_depth, config.sched) != (1, "fifo"):
+        return config.queue_depth, config.sched
+    if _DEFAULT_QUEUE is not None:
+        return _DEFAULT_QUEUE
+    return 1, "fifo"
 
 
 def _effective_interpose(
@@ -122,8 +152,13 @@ def build_stack(
         disk = Disk(spec, num_cylinders=config.num_cylinders)
     else:
         raise ValueError(f"unknown device type {config.device_type!r}")
+    queue_depth, sched = _effective_queue(config)
     device = build_device_stack(
-        disk, config.device_type, options=options
+        disk,
+        config.device_type,
+        options=options,
+        queue_depth=queue_depth,
+        sched=sched,
     )
     metrics_layer = find_layer(device, MetricsDevice)
     if metrics_layer is not None:

@@ -23,7 +23,11 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.blockdev.interpose import MetricsDevice, find_layer
 from repro.disk.specs import DISKS, HP97560, ST19101
 from repro.harness.configs import STACKS, StackConfig, build_stack, utilization_of
-from repro.harness.runner import simulate_locate_free, simulate_track_fill
+from repro.harness.runner import (
+    simulate_locate_free,
+    simulate_queued_workload,
+    simulate_track_fill,
+)
 from repro.harness.sweep import SweepPoint, sweep_values, warn_dropped
 from repro.models.compactor import average_latency_closed_form
 from repro.models.cylinder import cylinder_expected_latency
@@ -623,4 +627,82 @@ def _idle_sweep(
             "idle_seconds": list(idle_seconds),
             "latency_ms": [v * 1e3 for v in latencies],
         }
+    return result
+
+
+# ======================================================================
+# Queue-depth sweep: scheduling policy x queue depth x workload
+# ======================================================================
+
+def _point_qdepth(
+    *,
+    seed: int,
+    disk_name: str,
+    queue_depth: int,
+    policy: str,
+    workload: str,
+    requests: int,
+    think_us: float,
+) -> Dict[str, float]:
+    return simulate_queued_workload(
+        DISKS[disk_name],
+        queue_depth=queue_depth,
+        policy=policy,
+        workload=workload,
+        requests=requests,
+        think_seconds=think_us * 1e-6,
+        seed=seed,
+    )
+
+
+def figure_qdepth(
+    depths: Optional[Sequence[int]] = None,
+    policies: Sequence[str] = ("fifo", "scan", "satf"),
+    workloads: Sequence[str] = ("random-update", "sequential", "mixed"),
+    requests: int = 400,
+    think_us: float = 200.0,
+    disk_name: str = "st19101",
+    seed: int = 3,
+) -> Dict[str, Dict[str, Dict[str, List[float]]]]:
+    """Mean service time vs queue depth, per scheduling policy and
+    workload, on the raw disk through the host pipeline.
+
+    The queued counterpart of the figure experiments: at depth 1 every
+    policy collapses to the unscheduled baseline, and the depth axis
+    shows how much a queue-aware policy (SATF priced by the mechanics
+    model) buys over FIFO once the disk can reorder.
+    """
+    if depths is None:
+        depths = [1, 2, 4, 8]
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_qdepth",
+            {
+                "disk_name": disk_name,
+                "queue_depth": depth,
+                "policy": policy,
+                "workload": workload,
+                "requests": requests,
+                "think_us": think_us,
+            },
+            seed,
+        )
+        for workload in workloads
+        for policy in policies
+        for depth in depths
+    ]
+    values = iter(sweep_values(points))
+    result: Dict[str, Dict[str, Dict[str, List[float]]]] = {}
+    for workload in workloads:
+        per_policy: Dict[str, Dict[str, List[float]]] = {}
+        for policy in policies:
+            runs = [next(values) for _ in depths]
+            per_policy[policy] = {
+                "queue_depth": [float(d) for d in depths],
+                "mean_service_ms": [r["mean_service_ms"] for r in runs],
+                "p95_service_ms": [r["p95_service_ms"] for r in runs],
+                "mean_response_ms": [r["mean_response_ms"] for r in runs],
+                "elapsed_seconds": [r["elapsed_seconds"] for r in runs],
+            }
+        result[workload] = per_policy
     return result

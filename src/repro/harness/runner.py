@@ -1,13 +1,16 @@
 """Low-level simulation routines for the analytical-model validations
-(Figures 1 and 2)."""
+(Figures 1 and 2) and the queued-workload driver (the queue-depth sweep)."""
 
 from __future__ import annotations
 
 import random
+from typing import Dict
 
 from repro.disk.disk import Disk
 from repro.disk.freemap import FreeSpaceMap, nearest_set_bit
 from repro.disk.specs import DiskSpec
+from repro.sched.pipeline import HostPipeline
+from repro.sched.scheduler import DiskScheduler
 from repro.vlog.allocator import AllocationPolicy, EagerAllocator
 
 
@@ -101,3 +104,75 @@ def simulate_track_fill(
             writes += 1
         total += spec.head_switch_time  # switch to the next empty track
     return total / writes
+
+
+QUEUE_WORKLOADS = ("random-update", "sequential", "mixed")
+
+
+def simulate_queued_workload(
+    spec: DiskSpec,
+    queue_depth: int = 1,
+    policy: str = "fifo",
+    workload: str = "random-update",
+    requests: int = 400,
+    request_sectors: int = 8,
+    think_seconds: float = 0.0002,
+    seed: int = 3,
+    num_cylinders: int = 0,
+) -> Dict[str, float]:
+    """Drive a queued open-loop write workload through the host pipeline.
+
+    The host submits ``requests`` writes of ``request_sectors`` each,
+    thinking ``think_seconds`` between submissions; up to ``queue_depth``
+    requests stay outstanding, serviced in ``policy`` order.  Workloads:
+
+    * ``random-update`` -- uniformly random aligned targets (the
+      seek-dominated case queue reordering helps most);
+    * ``sequential`` -- ascending aligned targets (little to reorder);
+    * ``mixed`` -- alternating sequential and random targets.
+
+    Returns per-run scalars: elapsed seconds, mean/percentile service
+    times, mean response time (arrival to completion), and throughput.
+    """
+    if workload not in QUEUE_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; known: "
+            + ", ".join(QUEUE_WORKLOADS)
+        )
+    if requests <= 0:
+        raise ValueError("request count must be positive")
+    rng = random.Random(seed)
+    disk = Disk(spec, num_cylinders=num_cylinders, store_data=False)
+    scheduler = DiskScheduler(disk, policy=policy, queue_depth=queue_depth)
+    pipeline = HostPipeline(scheduler, think_seconds=think_seconds)
+    aligned = disk.geometry.total_sectors // request_sectors
+    cursor = rng.randrange(aligned)
+    start = disk.clock.now
+    for i in range(requests):
+        if workload == "random-update":
+            lba = rng.randrange(aligned)
+        elif workload == "sequential":
+            lba = (cursor + i) % aligned
+        else:  # mixed
+            if i % 2:
+                lba = rng.randrange(aligned)
+            else:
+                cursor = (cursor + 1) % aligned
+                lba = cursor
+        pipeline.write(lba * request_sectors, request_sectors)
+    pipeline.finish()
+    elapsed = disk.clock.now - start
+    service = scheduler.service_times.percentiles()
+    response = scheduler.response_times
+    return {
+        "elapsed_seconds": elapsed,
+        "mean_service_ms": scheduler.busy_seconds / scheduler.serviced * 1e3,
+        "p50_service_ms": service["p50"] * 1e3,
+        "p95_service_ms": service["p95"] * 1e3,
+        "p99_service_ms": service["p99"] * 1e3,
+        "mean_response_ms": (
+            response.sum / response.count * 1e3 if response.count else 0.0
+        ),
+        "requests_per_second": requests / elapsed if elapsed > 0 else 0.0,
+        "max_outstanding": float(scheduler.max_outstanding),
+    }

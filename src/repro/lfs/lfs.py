@@ -41,6 +41,7 @@ from repro.lfs.inode_map import InodeMap, SegmentUsage
 from repro.lfs.layout import LFSLayout, LFSSuperblock
 from repro.lfs.nvram import FileCache
 from repro.lfs.segment import BlockKind, SegmentSummary, SegmentWriter
+from repro.sched.idle import IdleManager
 from repro.sim.stats import Breakdown
 
 _IB_HEADER = struct.Struct("<II")
@@ -1103,25 +1104,50 @@ class LFS(FileSystem):
         Work proceeds in segment-sized steps (Section 5.5's point: LFS can
         only exploit idle intervals long enough for segment-granularity
         operations).  Whatever does not fit stays for the next interval --
-        or stalls a foreground write when the NVRAM fills first.
+        or stalls a foreground write when the NVRAM fills first.  Worker
+        order (flush, then clean, then the device's own background work)
+        is fixed at registration; see :class:`IdleManager`.
         """
+        return self.idle_manager.grant(seconds)
+
+    @property
+    def idle_manager(self) -> IdleManager:
+        """Idle-budget dispatch (workers registered on first use)."""
+        mgr = getattr(self, "_idle_manager", None)
+        if mgr is None:
+            mgr = IdleManager(self.clock)
+            self._register_idle_workers(mgr)
+            self._idle_manager = mgr
+        return mgr
+
+    def _register_idle_workers(self, mgr: IdleManager) -> None:
+        mgr.register("flush", self._idle_flush, gate=self._has_dirty)
+        mgr.register("clean", self._idle_clean)
+        mgr.register("device", self._idle_device)
+
+    def _has_dirty(self) -> bool:
+        return bool(self.cache.dirty_blocks or self._dirty_inodes)
+
+    def _idle_flush_batch(self) -> int:
+        return self.layout.data_blocks_per_segment
+
+    def _idle_flush(self, remaining: float) -> Breakdown:
         breakdown = Breakdown()
-        deadline = self.clock.now + seconds
-        while self.clock.now < deadline and (
-            self.cache.dirty_blocks or self._dirty_inodes
-        ):
-            breakdown.add(self._flush_batch(self.layout.data_blocks_per_segment))
-        if self.clock.now < deadline:
-            self._cleaning = True
-            try:
-                breakdown.add(self.cleaner.run_idle(deadline))
-            finally:
-                self._cleaning = False
-        if self.clock.now < deadline:
-            # Remaining idle time belongs to the device (VLD compaction).
-            self.device.idle(deadline - self.clock.now)
-        self.clock.advance_to(deadline)
+        deadline = self.clock.now + remaining
+        while self.clock.now < deadline and self._has_dirty():
+            breakdown.add(self._flush_batch(self._idle_flush_batch()))
         return breakdown
+
+    def _idle_clean(self, remaining: float) -> Breakdown:
+        self._cleaning = True
+        try:
+            return self.cleaner.run_idle(self.clock.now + remaining)
+        finally:
+            self._cleaning = False
+
+    def _idle_device(self, remaining: float) -> None:
+        # Remaining idle time belongs to the device (VLD compaction).
+        self.device.idle(remaining)
 
     # ------------------------------------------------------------------
 

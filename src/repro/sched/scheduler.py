@@ -1,0 +1,257 @@
+"""The disk request queue.
+
+:class:`DiskScheduler` sits between a host (or block device) and the raw
+:class:`~repro.disk.disk.Disk`.  Writes are *submitted*; the scheduler
+services them -- in policy order -- whenever the queue reaches
+``queue_depth``, when idle time is granted (:meth:`drain`), or while a
+synchronous read works its way to completion.  Completion times therefore
+come from the scheduler, not from serialized ``Disk.write`` calls.
+
+Timing model: the simulator's single clock advances only inside disk
+operations, so a "service" is atomic -- positioning, rotation, and
+transfer happen back to back.  ``queue_depth=1`` degenerates to servicing
+every request at submit time, which issues literally the same
+``disk.read``/``disk.write`` call sequence as the unscheduled seed code:
+the byte-identity guarantee the figure pins rely on.
+
+Starvation: greedy policies (SATF especially) can pass over a distant
+request indefinitely under a hostile arrival stream.  The scheduler
+counts how often each pending request is passed over by a *policy*
+choice; once the oldest request has been passed ``starvation_bound``
+times it is serviced next, policy notwithstanding, and counts freeze
+while the aged backlog drains oldest-first -- so no request's pass-over
+count ever exceeds the bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.disk.disk import Disk
+from repro.sched.policies import SchedulingPolicy, make_policy
+from repro.sim.metrics import LatencyHistogram
+from repro.sim.stats import Breakdown
+
+
+class DiskRequest:
+    """One queued disk request and its lifecycle timestamps."""
+
+    __slots__ = (
+        "op",
+        "sector",
+        "count",
+        "data",
+        "charge_scsi",
+        "seq",
+        "arrival",
+        "passes",
+        "done",
+        "failed",
+        "result",
+        "breakdown",
+        "service_start",
+        "completion",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        sector: int,
+        count: int,
+        data: Optional[bytes],
+        charge_scsi: bool,
+        seq: int,
+        arrival: float,
+    ) -> None:
+        self.op = op
+        self.sector = sector
+        self.count = count
+        self.data = data
+        self.charge_scsi = charge_scsi
+        self.seq = seq
+        self.arrival = arrival
+        self.passes = 0
+        self.done = False
+        self.failed = False
+        self.result: Optional[bytes] = None
+        self.breakdown: Optional[Breakdown] = None
+        self.service_start: Optional[float] = None
+        self.completion: Optional[float] = None
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"pending(passes={self.passes})"
+        return (
+            f"DiskRequest(#{self.seq} {self.op} sector={self.sector} "
+            f"count={self.count} {state})"
+        )
+
+
+class DiskScheduler:
+    """A bounded request queue over one disk, with a pluggable policy.
+
+    Args:
+        disk: The disk whose mechanics service (and price) requests.
+        policy: Policy name (``fifo``/``scan``/``satf``) or instance.
+        queue_depth: Maximum outstanding requests; submitting beyond it
+            services requests until the queue fits.  Depth 1 services at
+            submit time (the unscheduled seed behaviour).
+        starvation_bound: Maximum times a request may be passed over.
+    """
+
+    def __init__(
+        self,
+        disk: Disk,
+        policy: Union[str, SchedulingPolicy] = "fifo",
+        queue_depth: int = 1,
+        starvation_bound: int = 16,
+    ) -> None:
+        if queue_depth <= 0:
+            raise ValueError("queue depth must be positive")
+        if starvation_bound <= 0:
+            raise ValueError("starvation bound must be positive")
+        self.disk = disk
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.queue_depth = queue_depth
+        self.starvation_bound = starvation_bound
+        #: Pending requests in arrival order (oldest first).
+        self._pending: List[DiskRequest] = []
+        self._seq = 0
+        #: Breakdowns of serviced writes not yet claimed by a caller.
+        self._unclaimed = Breakdown()
+        self.serviced = 0
+        self.busy_seconds = 0.0
+        self.max_outstanding = 0
+        self.service_times = LatencyHistogram()
+        self.response_times = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently queued (the MetricsDevice overlap probe)."""
+        return len(self._pending)
+
+    def write(
+        self,
+        sector: int,
+        count: int = 1,
+        data: Optional[bytes] = None,
+        charge_scsi: bool = True,
+    ) -> DiskRequest:
+        """Submit a write; services requests until the queue fits.
+
+        Returns the request object: at depth 1 it is already done (its
+        breakdown claimable via :meth:`take_breakdown`); at greater depth
+        it completes during later submissions, reads, or a drain.
+        """
+        req = self._enqueue("write", sector, count, data, charge_scsi)
+        while len(self._pending) >= self.queue_depth:
+            self.service_one()
+        return req
+
+    def read(
+        self, sector: int, count: int = 1, charge_scsi: bool = True
+    ) -> Tuple[bytes, Breakdown]:
+        """Submit a read and service until it completes (reads are
+        synchronous: the caller needs the data).  Queued writes may be
+        serviced first if the policy prefers them."""
+        req = self._enqueue("read", sector, count, None, charge_scsi)
+        while not req.done:
+            self.service_one()
+        assert req.result is not None and req.breakdown is not None
+        return req.result, req.breakdown
+
+    def _enqueue(
+        self,
+        op: str,
+        sector: int,
+        count: int,
+        data: Optional[bytes],
+        charge_scsi: bool,
+    ) -> DiskRequest:
+        req = DiskRequest(
+            op, sector, count, data, charge_scsi, self._seq, self.disk.clock.now
+        )
+        self._seq += 1
+        self._pending.append(req)
+        if len(self._pending) > self.max_outstanding:
+            self.max_outstanding = len(self._pending)
+        return req
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+
+    def service_one(self) -> DiskRequest:
+        """Service one pending request, chosen by policy (or by the
+        starvation override)."""
+        if not self._pending:
+            raise RuntimeError("no pending requests to service")
+        oldest = self._pending[0]
+        if oldest.passes >= self.starvation_bound or len(self._pending) == 1:
+            # Aging override: the backlog drains oldest-first and pass
+            # counts freeze, so no request's count ever exceeds the bound
+            # (a younger request's count never exceeds an older one's,
+            # and counts only grow while the oldest is still under it).
+            chosen = oldest
+        else:
+            chosen = self.policy.pick(self._pending, self.disk)
+            for req in self._pending:
+                if req is not chosen:
+                    req.passes += 1
+        self._pending.remove(chosen)
+        clock = self.disk.clock
+        chosen.service_start = clock.now
+        try:
+            if chosen.op == "read":
+                data, breakdown = self.disk.read(
+                    chosen.sector, chosen.count, charge_scsi=chosen.charge_scsi
+                )
+                chosen.result = data
+            else:
+                breakdown = self.disk.write(
+                    chosen.sector,
+                    chosen.count,
+                    chosen.data,
+                    charge_scsi=chosen.charge_scsi,
+                )
+        except BaseException:
+            # A fault surfaced mid-service (injected error, crash): the
+            # request leaves the queue and the exception propagates to
+            # whoever triggered the servicing -- at depth 1, the original
+            # submitter, exactly as in the unscheduled code.
+            chosen.failed = True
+            chosen.done = True
+            raise
+        chosen.breakdown = breakdown
+        chosen.completion = clock.now
+        chosen.done = True
+        if chosen.op == "write":
+            self._unclaimed.add(breakdown)
+        self.serviced += 1
+        self.busy_seconds += chosen.completion - chosen.service_start
+        self.service_times.record(chosen.completion - chosen.service_start)
+        self.response_times.record(chosen.completion - chosen.arrival)
+        return chosen
+
+    def drain(self) -> Breakdown:
+        """Service everything pending (a write barrier / idle signal);
+        returns all unclaimed write breakdowns."""
+        while self._pending:
+            self.service_one()
+        return self.take_breakdown()
+
+    def take_breakdown(self) -> Breakdown:
+        """Claim the breakdowns of writes serviced since the last claim."""
+        out = self._unclaimed
+        self._unclaimed = Breakdown()
+        return out
+
+    def discard_pending(self) -> List[DiskRequest]:
+        """Drop every pending request without servicing it (power loss:
+        queued writes never reached the media)."""
+        dropped = self._pending
+        self._pending = []
+        return dropped

@@ -109,6 +109,14 @@ class LatencyHistogram:
                 return self.base * 2.0 ** (index + 1)
         return self.base * 2.0 ** (max(self.buckets) + 1)
 
+    def percentiles(self) -> Dict[str, float]:
+        """The standard latency-report trio (bucket-resolution seconds)."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
     def as_dict(self) -> Dict[str, int]:
         """Bucket counts keyed by a human-readable upper edge."""
         result = {}

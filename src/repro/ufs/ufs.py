@@ -39,6 +39,7 @@ from repro.fs.dirfile import DirectoryBlock
 from repro.fs.inode import FileType, INODE_SIZE, Inode, NUM_DIRECT
 from repro.fs.path import dirname_basename, split_path
 from repro.hosts.specs import HostSpec
+from repro.sched.idle import IdleManager
 from repro.sim.stats import Breakdown
 from repro.ufs.alloc import UFSAllocator
 from repro.ufs.buffer_cache import BufferCache
@@ -965,8 +966,22 @@ class UFS(FileSystem):
     def idle(self, seconds: float) -> Breakdown:
         """UFS has no background machinery; the device gets the idle time
         (on a VLD, the compactor uses it)."""
-        self.device.idle(seconds)
-        return Breakdown()
+        return self.idle_manager.grant(seconds)
+
+    @property
+    def idle_manager(self) -> IdleManager:
+        """Idle-budget dispatch: one worker, the device itself.  The
+        device runs even on a zero-second grant (a VLD drains its queue
+        and disarms stale state on any idle signal)."""
+        mgr = getattr(self, "_idle_manager", None)
+        if mgr is None:
+            mgr = IdleManager(self.clock)
+            mgr.register("device", self._idle_device, needs_time=False)
+            self._idle_manager = mgr
+        return mgr
+
+    def _idle_device(self, remaining: float) -> None:
+        self.device.idle(remaining)
 
     # ------------------------------------------------------------------
 

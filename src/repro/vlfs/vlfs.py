@@ -299,16 +299,17 @@ class VLFS(LFS):
         optimization for VLFS", Section 3.4) consolidates free space into
         empty tracks for the track-fill allocator.
         """
-        breakdown = Breakdown()
-        deadline = self.clock.now + seconds
-        while self.clock.now < deadline and (
-            self.cache.dirty_blocks or self._dirty_inodes
-        ):
-            breakdown.add(self._flush_batch(64))
-        if self.clock.now < deadline:
-            self.compactor.run_for(deadline - self.clock.now)
-        self.clock.advance_to(deadline)
-        return breakdown
+        return self.idle_manager.grant(seconds)
+
+    def _register_idle_workers(self, mgr) -> None:
+        mgr.register("flush", self._idle_flush, gate=self._has_dirty)
+        mgr.register("compact", self._idle_compact)
+
+    def _idle_flush_batch(self) -> int:
+        return 64
+
+    def _idle_compact(self, remaining: float) -> None:
+        self.compactor.run_for(remaining)
 
     @property
     def compactor(self) -> "VLFSCompactor":

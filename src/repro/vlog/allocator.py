@@ -79,6 +79,11 @@ class EagerAllocator:
             round((1.0 - fill_threshold) * geometry.sectors_per_track)
         )
         self._fill_track: Optional[Tuple[int, int]] = None
+        #: Lazily-built suffix minimum of the seek curve by distance: the
+        #: sound prune bound for the NEAREST cylinder sweep (the two-piece
+        #: curve need not be monotone, so the seek at one distance says
+        #: nothing about farther ones).
+        self._seek_floor: Optional[list] = None
         #: One-direction sweep cursor (Section 4.2).
         self._sweep_cylinder = 0
         self.allocations = 0
@@ -146,9 +151,9 @@ class EagerAllocator:
         best_cost: Optional[float] = None
         best_sector: Optional[int] = None
         for cylinder, distance in self._cylinders_by_distance():
+            if best_cost is not None and self._seek_floor_at(distance) >= best_cost:
+                break  # no remaining distance can even out-seek the incumbent
             seek = mechanics.seek_time(disk.head_cylinder, cylinder)
-            if best_cost is not None and seek >= best_cost:
-                break  # farther cylinders can only be worse
             if not self.freemap.cylinder_has_run(
                 cylinder, self.block_sectors, self.block_sectors
             ):
@@ -174,6 +179,19 @@ class EagerAllocator:
                 best_cost = cost
                 best_sector = linear
         return best_sector
+
+    def _seek_floor_at(self, distance: int) -> float:
+        """Smallest seek over any distance ``>= distance``."""
+        floor = self._seek_floor
+        if floor is None:
+            spec = self.disk.spec
+            total = self.disk.geometry.num_cylinders
+            floor = [0.0] * total
+            for d in range(total - 1, 0, -1):
+                here = spec.seek_time(d)
+                floor[d] = here if d == total - 1 else min(here, floor[d + 1])
+            self._seek_floor = floor
+        return floor[distance]
 
     def _cylinders_by_distance(self) -> Iterable[Tuple[int, int]]:
         """Yield (cylinder, distance) pairs, nearest first."""

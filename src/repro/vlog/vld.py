@@ -22,11 +22,14 @@ from the tail record, or by scanning when that record is missing/corrupt.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.blockdev.interface import BlockDevice
 from repro.disk.disk import Disk
 from repro.disk.freemap import FreeSpaceMap
+from repro.sched.idle import IdleManager
+from repro.sched.policies import SchedulingPolicy
+from repro.sched.scheduler import DiskScheduler
 from repro.sim.stats import Breakdown
 from repro.vlog.allocator import AllocationPolicy, EagerAllocator
 from repro.vlog.entries import QUARANTINE_CHUNK_BASE
@@ -60,6 +63,11 @@ class VirtualLogDisk(BlockDevice):
             absent (checksums are out-of-band, retries never fire, the
             scrubber only runs when suspects exist).
         retry_policy: Read-retry schedule for the resilience layer.
+        queue_depth: Outstanding-request bound for the internal request
+            scheduler; depth 1 (default) services every data write at
+            submit time, byte-identical to the unscheduled code.
+        sched: Scheduling policy name (``fifo``/``scan``/``satf``) or
+            instance for the internal queue.
     """
 
     #: Physical block housing the firmware power-down record; never
@@ -76,6 +84,8 @@ class VirtualLogDisk(BlockDevice):
         slack_fraction: float = 0.02,
         resilience: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
+        queue_depth: int = 1,
+        sched: Union[str, SchedulingPolicy] = "fifo",
     ) -> None:
         if block_size % disk.sector_bytes != 0:
             raise ValueError("block size must be a multiple of the sector size")
@@ -147,6 +157,24 @@ class VirtualLogDisk(BlockDevice):
         #: after an orderly power-down invalidates it first, or a later
         #: crash would recover to the stale tail it names.
         self._power_record_armed = False
+        #: Request queue for eager data writes.  Log appends (the commit
+        #: point), map-record traffic, and recovery I/O bypass it: their
+        #: ordering *is* the crash-consistency argument, so they only run
+        #: behind a drain barrier.
+        self.scheduler = DiskScheduler(
+            disk, policy=sched, queue_depth=queue_depth
+        )
+        #: Idle-time dispatch: scrubbing suspects first (urgent, runs even
+        #: on a zero-second grant, as the seed did), then compaction.
+        self.idle_manager = IdleManager(disk.clock)
+        self.idle_manager.register(
+            "scrub", self._idle_scrub, gate=self._scrub_pending,
+            needs_time=False,
+        )
+        self.idle_manager.register(
+            "compact", self._idle_compact,
+            gate=lambda: self.compaction_enabled,
+        )
 
     @property
     def compactor(self):
@@ -180,6 +208,13 @@ class VirtualLogDisk(BlockDevice):
     ) -> bytes:
         """Read sectors through the resilience layer when present (checksum
         verify + bounded retries), or straight from the disk otherwise."""
+        if self.scheduler.outstanding:
+            # Read barrier: queued eager writes must reach the media first
+            # (they may cover the very sectors being read).  Their costs
+            # ride on the request that forced the flush.
+            flushed = self.scheduler.drain()
+            if breakdown is not None:
+                breakdown.add(flushed)
         if self.resilience is not None:
             return self.resilience.read_sectors(
                 sector, count, breakdown, timed=timed
@@ -191,26 +226,29 @@ class VirtualLogDisk(BlockDevice):
             return data
         return self.disk.peek(sector, count)
 
+    def _scrub_pending(self) -> bool:
+        return self.resilience is not None and self.resilience.scrubber.pending
+
+    def _idle_scrub(self, remaining: float) -> None:
+        # Scrubbing rewrites the log: any stale power-down record must go
+        # first.
+        self._disarm_power_record(Breakdown())
+        assert self.resilience is not None
+        self.resilience.scrubber.run_for(remaining)
+
+    def _idle_compact(self, remaining: float) -> None:
+        self.compactor.run_for(remaining)
+
     def idle(self, seconds: float) -> None:
         """Idle time goes to scrubbing suspects, then compaction; any
-        remainder simply passes.  The scrubber gate is cheap and almost
-        always closed: a VLD that never observed a fault spends every
-        idle cycle exactly as before."""
+        remainder simply passes.  Queue-emptiness is the idle signal: the
+        request queue drains before any background work starts.  The
+        scrubber gate is cheap and almost always closed: a VLD that never
+        observed a fault spends every idle cycle exactly as before."""
         if seconds < 0.0:
             raise ValueError("idle time must be non-negative")
-        clock = self.disk.clock
-        deadline = clock.now + seconds
-        if (
-            self.resilience is not None
-            and self.resilience.scrubber.pending
-        ):
-            # Scrubbing rewrites the log: any stale power-down record
-            # must go first.
-            self._disarm_power_record(Breakdown())
-            self.resilience.scrubber.run_for(deadline - clock.now)
-        if self.compaction_enabled and clock.now < deadline:
-            self.compactor.run_for(deadline - clock.now)
-        clock.advance_to(deadline)
+        self.scheduler.drain()
+        self.idle_manager.grant(seconds)
 
     # ------------------------------------------------------------------
     # BlockDevice interface
@@ -298,19 +336,20 @@ class VirtualLogDisk(BlockDevice):
         for i in range(count):
             new_block = self.allocator.allocate()
             lo = (data_offset_blocks + i) * self.block_size
-            breakdown.add(
-                self.disk.write(
-                    new_block * self.sectors_per_block,
-                    self.sectors_per_block,
-                    data[lo : lo + self.block_size],
-                    charge_scsi=False,
-                )
+            self.scheduler.write(
+                new_block * self.sectors_per_block,
+                self.sectors_per_block,
+                data[lo : lo + self.block_size],
+                charge_scsi=False,
             )
             old = self.imap.set(lba + i, new_block)
             self.reverse[new_block] = lba + i
             if old is not None:
                 displaced.append(old)
-        # Commit point: the map chunk reaches the virtual log.
+        # Write barrier, then the commit point: every queued data write
+        # must reach the media before the map chunk's log record does, or
+        # a crash between them would recover mappings to unwritten blocks.
+        breakdown.add(self.scheduler.drain())
         breakdown.add(
             self.vlog.append(chunk_id, self.imap.chunk_entries(chunk_id))
         )
@@ -350,7 +389,7 @@ class VirtualLogDisk(BlockDevice):
         disk otherwise lacks; Section 4.2 notes un-overwritten frees are
         missed without this)."""
         self.check_lba(lba, count)
-        breakdown = Breakdown()
+        breakdown = self.scheduler.drain()  # barrier before the log commit
         self._disarm_power_record(breakdown)
         touched: Dict[int, None] = {}
         displaced: List[int] = []
@@ -391,12 +430,16 @@ class VirtualLogDisk(BlockDevice):
 
     def power_down(self, timed: bool = True) -> Breakdown:
         """Orderly shutdown: persist the log tail at the fixed location."""
+        breakdown = self.scheduler.drain()  # nothing may outlive the queue
         if self.vlog.tail is None:
-            return Breakdown()
+            return breakdown
         self._power_record_armed = True
-        return self.power_store.write(
-            self.vlog.tail, self.vlog.next_seqno - 1, timed
+        breakdown.add(
+            self.power_store.write(
+                self.vlog.tail, self.vlog.next_seqno - 1, timed
+            )
         )
+        return breakdown
 
     def _record_reader(self, timed: bool):
         """Fault-tolerant record reader for the recovery traversal:
@@ -465,7 +508,7 @@ class VirtualLogDisk(BlockDevice):
         media_errors_before = (
             resilience.media_errors if resilience is not None else 0
         )
-        breakdown = Breakdown()
+        breakdown = self.scheduler.drain()  # a live recover flushes first
         degraded = False
         skip_sectors = (self.POWER_DOWN_BLOCK + 1) * self.sectors_per_block
         if resilience is not None:
@@ -628,6 +671,8 @@ class VirtualLogDisk(BlockDevice):
         managed the residual-power write, which callers model by invoking
         :meth:`power_down` first.)
         """
+        # Queued writes never reached the media: they are simply gone.
+        self.scheduler.discard_pending()
         self._reset_volatile_state()
 
     def _reset_volatile_state(self) -> None:

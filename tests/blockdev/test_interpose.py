@@ -218,6 +218,122 @@ class TestMetricsDevice:
         assert "locate=" in text
 
 
+class _StubScheduler:
+    """Wraps the device's real scheduler but reports a scripted
+    ``outstanding`` count, so the tests control the probe directly."""
+
+    def __init__(self, real) -> None:
+        self._real = real
+        self.outstanding = 0
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestQueueAwareMetrics:
+    """Clock-gap attribution once the wrapped device runs a queue.
+
+    The seed read *every* inter-op gap as host compute; under a queue the
+    gap between two completions is the device draining its backlog, and
+    counting it as host time double-counts it (it is already inside the
+    queued ops' service times).
+    """
+
+    def test_depth_one_gaps_still_host_time(self, device):
+        device.scheduler = _StubScheduler(device.scheduler)
+        metered = MetricsDevice(device)
+        clock = device.disk.clock
+        metered.write_block(0, PAYLOAD)
+        clock.advance(0.25)
+        metered.write_block(1, PAYLOAD)
+        assert metered.host_seconds == pytest.approx(0.25)
+        assert metered.overlapped_seconds == 0.0
+
+    def test_no_host_time_while_requests_outstanding(self, device):
+        device.scheduler = _StubScheduler(device.scheduler)
+        metered = MetricsDevice(device)
+        clock = device.disk.clock
+        device.scheduler.outstanding = 3
+        metered.write_block(0, PAYLOAD)
+        clock.advance(0.25)  # the queue draining, not host compute
+        metered.write_block(1, PAYLOAD)
+        assert metered.host_seconds == pytest.approx(0.0)
+        assert metered.overlapped_seconds == pytest.approx(0.25)
+        # Back at depth 0 the old inference applies again.
+        device.scheduler.outstanding = 0
+        metered.write_block(2, PAYLOAD)
+        clock.advance(0.1)
+        metered.write_block(3, PAYLOAD)
+        assert metered.host_seconds == pytest.approx(0.1)
+        assert metered.overlapped_seconds == pytest.approx(0.25)
+
+    def test_queue_depth_sampled_per_op(self, device):
+        device.scheduler = _StubScheduler(device.scheduler)
+        metered = MetricsDevice(device)
+        device.scheduler.outstanding = 2
+        metered.write_block(0, PAYLOAD)
+        device.scheduler.outstanding = 4
+        metered.write_block(1, PAYLOAD)
+        device.scheduler.outstanding = 0
+        metered.write_block(2, PAYLOAD)
+        stats = metered.queue_stats()
+        assert metered.queue_depth_samples == {2: 1, 4: 1, 0: 1}
+        assert stats["max_depth"] == 4.0
+        assert stats["mean_depth"] == pytest.approx(2.0)
+        assert "queue[max=4" in metered.summary()
+
+    def test_unscheduled_devices_never_overlap(self, device):
+        metered = MetricsDevice(device)
+        clock = device.disk.clock
+        metered.write_block(0, PAYLOAD)
+        clock.advance(0.5)
+        metered.write_block(1, PAYLOAD)
+        assert metered.overlapped_seconds == 0.0
+        assert metered.host_seconds == pytest.approx(0.5)
+        assert metered.queue_depth_samples == {0: 2}
+
+    def test_service_percentiles_from_op_latencies(self, device):
+        metered = MetricsDevice(device)
+        for lba in range(8):
+            metered.write_block(lba * 16, PAYLOAD)
+        pct = metered.service_percentiles("write")
+        assert pct["p50"] > 0.0
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+        assert metered.service_percentiles() == pct
+        assert metered.service_percentiles("read") == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0
+        }
+
+    def test_real_scheduler_depth_four_reports_overlap(self, disk):
+        device = RegularDisk(disk, queue_depth=4, sched="satf")
+        metered = MetricsDevice(device)
+        for lba in range(10):
+            metered.write_block(lba * 16, PAYLOAD)
+        # Steady state keeps depth-1 requests pending after each submit.
+        assert max(metered.queue_depth_samples) == 3
+        assert metered.queue_stats()["max_depth"] == 3.0
+        # Inter-op gaps while the queue is busy count as overlap, not
+        # host compute.
+        disk.clock.advance(0.05)
+        metered.write_block(200, PAYLOAD)
+        assert metered.overlapped_seconds == pytest.approx(0.05)
+        assert metered.host_seconds == 0.0
+        metered.idle(0.0)  # drains: the queue empties
+        disk.clock.advance(0.01)
+        metered.write_block(201, PAYLOAD)
+        assert metered.host_seconds == pytest.approx(0.01)
+
+    def test_real_scheduler_depth_one_never_overlaps(self, disk):
+        device = RegularDisk(disk)  # depth 1, FIFO: the baseline
+        metered = MetricsDevice(device)
+        metered.write_block(0, PAYLOAD)
+        disk.clock.advance(0.02)
+        metered.write_block(1, PAYLOAD)
+        assert metered.overlapped_seconds == 0.0
+        assert metered.host_seconds == pytest.approx(0.02)
+        assert set(metered.queue_depth_samples) == {0}
+
+
 class TestFaultPlan:
     def test_parse_full_spec(self):
         plan = FaultPlan.parse(

@@ -184,3 +184,36 @@ class TestFigures10And11:
         )
         latencies = result["504K"]["latency_ms"]
         assert latencies[1] <= latencies[0] * 1.05
+
+
+class TestFigureQdepth:
+    def test_depth_axis_and_satf_advantage(self):
+        result = experiments.figure_qdepth(
+            depths=[1, 4], workloads=("random-update",), requests=150
+        )
+        series = result["random-update"]
+        assert set(series) == {"fifo", "scan", "satf"}
+        # Depth 1 collapses every policy to the unscheduled baseline.
+        baseline = series["fifo"]["mean_service_ms"][0]
+        for policy in ("scan", "satf"):
+            assert series[policy]["mean_service_ms"][0] == baseline
+        # At depth 4 SATF reorders its way below FIFO (the acceptance
+        # criterion, at figure scale).
+        assert (
+            series["satf"]["mean_service_ms"][1]
+            < series["fifo"]["mean_service_ms"][1]
+        )
+
+    def test_result_shape(self):
+        result = experiments.figure_qdepth(
+            depths=[2], policies=("satf",), workloads=("sequential",),
+            requests=60,
+        )
+        entry = result["sequential"]["satf"]
+        assert entry["queue_depth"] == [2.0]
+        for key in (
+            "mean_service_ms", "p95_service_ms", "mean_response_ms",
+            "elapsed_seconds",
+        ):
+            assert len(entry[key]) == 1
+            assert entry[key][0] > 0.0

@@ -1,0 +1,172 @@
+"""The host/disk pipeline, the idle-time dispatcher, and the headline
+queue-depth acceptance property (SATF beats FIFO once the disk can
+reorder)."""
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.specs import ST19101
+from repro.harness.runner import simulate_queued_workload
+from repro.sched.idle import IdleManager
+from repro.sched.pipeline import HostPipeline
+from repro.sched.scheduler import DiskScheduler
+from repro.sim.clock import SimClock
+from repro.sim.stats import Breakdown
+from repro.vlog.vld import VirtualLogDisk
+
+
+def _payload(tag: int, size: int = 4096) -> bytes:
+    return bytes([tag % 251]) * size
+
+
+class TestHostPipeline:
+    def test_think_advances_clock_when_queue_empty(self):
+        disk = Disk(ST19101, num_cylinders=2, store_data=False)
+        pipeline = HostPipeline(
+            DiskScheduler(disk, queue_depth=4), think_seconds=0.002
+        )
+        before = disk.clock.now
+        pipeline.write(0, 8)
+        assert disk.clock.now >= before + 0.002
+        assert pipeline.think_hidden_seconds == 0.0
+
+    def test_think_hidden_while_requests_outstanding(self):
+        disk = Disk(ST19101, num_cylinders=2, store_data=False)
+        pipeline = HostPipeline(
+            DiskScheduler(disk, queue_depth=4), think_seconds=0.002
+        )
+        pipeline.write(0, 8)
+        assert pipeline.scheduler.outstanding == 1
+        now = disk.clock.now
+        pipeline.write(64, 8)  # queue non-empty: think overlaps service
+        assert disk.clock.now == now
+        assert pipeline.think_hidden_seconds == pytest.approx(0.002)
+
+    def test_negative_think_rejected(self):
+        disk = Disk(ST19101, num_cylinders=1, store_data=False)
+        with pytest.raises(ValueError):
+            HostPipeline(DiskScheduler(disk), think_seconds=-1.0)
+
+    def test_finish_drains_everything(self):
+        disk = Disk(ST19101, num_cylinders=2, store_data=False)
+        pipeline = HostPipeline(DiskScheduler(disk, queue_depth=8))
+        for i in range(5):
+            pipeline.write(i * 16, 8)
+        assert pipeline.scheduler.outstanding == 5
+        breakdown = pipeline.finish()
+        assert pipeline.scheduler.outstanding == 0
+        assert breakdown.total > 0.0
+        assert pipeline.submitted == 5
+
+
+class TestIdleManager:
+    def test_workers_run_in_registration_order(self):
+        clock = SimClock()
+        mgr = IdleManager(clock)
+        ran = []
+        mgr.register("a", lambda r: ran.append(("a", r)))
+        mgr.register("b", lambda r: ran.append(("b", r)))
+        mgr.grant(1.5)
+        assert [name for name, _ in ran] == ["a", "b"]
+        assert ran[0][1] == pytest.approx(1.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_gate_skips_worker(self):
+        mgr = IdleManager(SimClock())
+        ran = []
+        mgr.register("gated", lambda r: ran.append(r), gate=lambda: False)
+        mgr.grant(1.0)
+        assert ran == []
+
+    def test_needs_time_false_runs_on_zero_budget(self):
+        mgr = IdleManager(SimClock())
+        ran = []
+        mgr.register("urgent", lambda r: ran.append(r), needs_time=False)
+        mgr.register("lazy", lambda r: ran.append(("lazy", r)))
+        mgr.grant(0.0)
+        assert ran == [0.0]  # urgent ran, lazy skipped
+
+    def test_breakdowns_accumulate(self):
+        mgr = IdleManager(SimClock())
+
+        def worker(remaining):
+            b = Breakdown()
+            b.charge("other", 0.25)
+            return b
+
+        mgr.register("w1", worker)
+        mgr.register("w2", worker)
+        total = mgr.grant(1.0)
+        assert total.other == pytest.approx(0.5)
+        assert mgr.grants == 1
+        assert mgr.granted_seconds == pytest.approx(1.0)
+
+    def test_clock_reaches_deadline_even_if_workers_use_nothing(self):
+        clock = SimClock()
+        mgr = IdleManager(clock)
+        mgr.register("noop", lambda r: None)
+        mgr.grant(2.0)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_negative_grant_rejected(self):
+        with pytest.raises(ValueError):
+            IdleManager(SimClock()).grant(-0.1)
+
+
+class TestQueueDepthAcceptance:
+    """The headline property: at depth >= 4 on the random-update
+    workload, SATF beats FIFO mean service time."""
+
+    def test_satf_beats_fifo_at_depth_four(self):
+        fifo = simulate_queued_workload(
+            ST19101, queue_depth=4, policy="fifo", requests=200
+        )
+        satf = simulate_queued_workload(
+            ST19101, queue_depth=4, policy="satf", requests=200
+        )
+        assert satf["mean_service_ms"] < fifo["mean_service_ms"]
+        assert satf["elapsed_seconds"] < fifo["elapsed_seconds"]
+
+    def test_depth_one_identical_across_policies(self):
+        runs = [
+            simulate_queued_workload(
+                ST19101, queue_depth=1, policy=policy, requests=100
+            )
+            for policy in ("fifo", "scan", "satf")
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            simulate_queued_workload(ST19101, workload="backwards")
+
+
+class TestVLDQueuedConsistency:
+    """Crash consistency survives a deeper queue: the commit barrier
+    drains data writes before each map-chunk append, so everything a
+    completed write_blocks() call covered recovers intact."""
+
+    @pytest.mark.parametrize("sched", ["fifo", "satf"])
+    def test_crash_recover_after_queued_writes(self, sched):
+        disk = Disk(ST19101, num_cylinders=2)
+        vld = VirtualLogDisk(disk, queue_depth=4, sched=sched)
+        for lba in range(40):
+            vld.write_block(lba, _payload(lba))
+        # Overwrite a few, multi-block runs included.
+        vld.write_blocks(8, 4, b"".join(_payload(100 + i) for i in range(4)))
+        vld.crash()
+        outcome = vld.recover()
+        assert not outcome.degraded
+        for lba in range(40):
+            expected = _payload(100 + lba - 8) if 8 <= lba < 12 else _payload(lba)
+            assert vld.read_block(lba)[0] == expected
+        vld.vlog.check_invariants()
+
+    def test_idle_signal_drains_queue_before_compaction(self):
+        disk = Disk(ST19101, num_cylinders=2)
+        vld = VirtualLogDisk(disk, queue_depth=4)
+        for lba in range(16):
+            vld.write_block(lba, _payload(lba))
+        assert vld.scheduler.outstanding == 0  # commit barrier drained
+        vld.idle(0.05)
+        assert vld.scheduler.outstanding == 0
