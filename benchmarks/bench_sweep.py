@@ -71,7 +71,11 @@ def speedup_floor(cpus: int) -> float:
         return 2.0
     if cpus >= 2:
         return 1.25
-    return 0.60  # single core: only bound the engine's own overhead
+    # Single core: only bound the engine's own overhead.  Points are
+    # batched into a few tasks per worker, so the bound can sit near
+    # parity (observed 0.84-1.04 across runs); per-point tasks used to
+    # need 0.60 here.
+    return 0.65
 
 
 def _grid():
@@ -100,9 +104,12 @@ def run_suite() -> Dict:
     points = len(_grid())
 
     serial_seconds = min(_timed_sweep(jobs=1, cache=None) for _ in range(2))
+    sweep.reset_stats()
+    parallel_runs = 2
     parallel_seconds = min(
-        _timed_sweep(jobs=jobs, cache=None) for _ in range(2)
+        _timed_sweep(jobs=jobs, cache=None) for _ in range(parallel_runs)
     )
+    parallel_stats = sweep.reset_stats()
 
     cache_dir = tempfile.mkdtemp(prefix="bench-sweep-cache-")
     try:
@@ -119,6 +126,9 @@ def run_suite() -> Dict:
         "grid_points": points,
         "jobs": jobs,
         "cpus": cpus,
+        # Chunked submission: the whole grid rides in a few pool tasks
+        # (several points each), not one task per point.
+        "pool_tasks_per_run": parallel_stats.pool_tasks // parallel_runs,
         "seconds": {
             "serial": serial_seconds,
             "parallel": parallel_seconds,

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Multi-host overlap on the event engine.
+
+One closed-loop host at queue depth 1 serializes thinking and disk
+service: the think/service intervals cannot intersect, so *exactly zero*
+think time is hidden (this is the same fact the depth-1 identity tests
+pin -- the engine replays the synchronous path).  Add hosts and the
+overlap becomes real: while the disk serves one host, the others think,
+and the event engine measures that hidden time exactly from the recorded
+intervals -- no clock-gap inference.
+
+The demo runs 1 and 4 hosts against one ST19101 (seeded, so the numbers
+are reproducible bit-for-bit), prints each report, and shows the p99
+response tail growing with contention -- the cost side of the
+throughput/overlap win.
+
+Run:  python examples/multihost_demo.py
+"""
+
+from repro.disk import ST19101
+from repro.hosts import format_report, run_multihost
+
+SEED = 2026
+REQUESTS_PER_HOST = 200
+THINK_SECONDS = 0.0002
+
+
+def main() -> None:
+    reports = {}
+    for hosts in (1, 4):
+        print(f"== {hosts} host(s) x 1 disk, closed loop, seeded ==")
+        report = run_multihost(
+            ST19101,
+            hosts=hosts,
+            disks=1,
+            requests_per_host=REQUESTS_PER_HOST,
+            think_seconds=THINK_SECONDS,
+            workload="random-update",
+            policy="fifo",
+            seed=SEED,
+        )
+        reports[hosts] = report
+        print(format_report(report))
+        print()
+
+    single, quad = reports[1], reports[4]
+    print("== What the event engine makes visible ==")
+    print(
+        f"  1 host hides {single['hidden_think_seconds']:.4f}s of think "
+        f"time -- exactly zero by construction (closed loop, depth 1)"
+    )
+    print(
+        f"  4 hosts hide {quad['hidden_think_seconds']:.4f}s of "
+        f"{quad['think_seconds']:.4f}s total think time behind disk service"
+    )
+    print(
+        f"  throughput: {single['requests_per_second']:.0f} -> "
+        f"{quad['requests_per_second']:.0f} req/s"
+    )
+    print(
+        f"  the price is the tail: p99 response "
+        f"{single['p99_response_ms']:.2f} -> {quad['p99_response_ms']:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,7 @@ from typing import Callable, Dict, Iterator, Optional, Set, Tuple, Type
 
 from repro.blockdev.interface import BlockDevice
 from repro.blockdev.regular import RegularDisk
+from repro.sim.engine import IntervalRecorder
 from repro.sim.metrics import LatencyHistogram
 from repro.sim.stats import COMPONENTS, Breakdown
 
@@ -438,8 +439,15 @@ class MetricsDevice(ObservingDevice):
     while requests were outstanding are therefore accumulated separately
     (``overlapped_seconds``) instead of being double-counted as host time.
     The depth observed after each operation also feeds a queue-depth
-    sample histogram, and per-op service-time percentiles (p50/p95/p99)
-    are available from the latency histograms.
+    sample histogram, and per-op service-time percentiles
+    (p50/p95/p99/p999) are available from the latency histograms.
+
+    When the stack runs under an :class:`~repro.sim.engine.EventEngine`
+    (the stack clock is engine-bound), :meth:`report` stops inferring:
+    host, device, and overlap time come from the *real* think/service
+    intervals the engine processes recorded, computed by exact interval
+    intersection.  Each completed op's own real span is always noted in
+    :attr:`intervals` (kind ``"op"``, keyed by op name), engine or not.
     """
 
     def __init__(self, inner: BlockDevice) -> None:
@@ -449,6 +457,8 @@ class MetricsDevice(ObservingDevice):
     def reset(self) -> None:
         self.ops: Dict[str, int] = {}
         self.blocks: Dict[str, int] = {}
+        #: Real [start, end) spans of completed ops, by op name.
+        self.intervals = IntervalRecorder()
         self.op_latency: Dict[str, LatencyHistogram] = {}
         self.component_hist: Dict[str, LatencyHistogram] = {
             name: LatencyHistogram() for name in COMPONENTS
@@ -508,6 +518,7 @@ class MetricsDevice(ObservingDevice):
             self.component_hist[name].record(getattr(breakdown, name))
         self._attribute_gap(start)
         self._last_end = self._clock_now()
+        self.intervals.note("op", op, start, self._last_end)
         self._sample_queue()
 
     def _note_fault(self, op, lba, count, fault, start) -> None:
@@ -573,7 +584,7 @@ class MetricsDevice(ObservingDevice):
         }
 
     def service_percentiles(self, op: Optional[str] = None) -> Dict[str, float]:
-        """p50/p95/p99 of per-op service time, for one op or all merged."""
+        """p50/p95/p99/p999 of per-op service time, one op or all merged."""
         if op is not None:
             hist = self.op_latency.get(op)
             return hist.percentiles() if hist else LatencyHistogram().percentiles()
@@ -581,6 +592,49 @@ class MetricsDevice(ObservingDevice):
         for hist in self.op_latency.values():
             merged.merge(hist)
         return merged.percentiles()
+
+    def _engine_intervals(self) -> Optional[IntervalRecorder]:
+        """The engine's interval recorder when the stack clock is bound
+        to an event engine, else ``None`` (gap attribution applies)."""
+        clock = getattr(getattr(self.inner, "disk", None), "clock", None)
+        engine = getattr(clock, "engine", None)
+        return engine.intervals if engine is not None else None
+
+    def report(self) -> Dict[str, object]:
+        """Structured metrics report.
+
+        Time attribution is exact under an event engine -- host time is
+        the measure of the recorded think intervals, device time the
+        measure of this disk's service intervals, and overlap their
+        per-host intersection -- and falls back to the clock-gap
+        heuristic on the synchronous path (``attribution`` says which).
+        Percentiles include the p99/p999 tail.
+        """
+        recorder = self._engine_intervals()
+        if recorder is not None:
+            scheduler = getattr(self.inner, "scheduler", None)
+            key = getattr(scheduler, "name", None)
+            device = recorder.total("service", key)
+            host = recorder.total("think")
+            overlap = recorder.per_key_overlap("think", "service")
+            attribution = "intervals"
+        else:
+            device = self.device_seconds()
+            host = self.host_seconds
+            overlap = self.overlapped_seconds
+            attribution = "clock-gap"
+        return {
+            "attribution": attribution,
+            "ops": dict(self.ops),
+            "blocks": dict(self.blocks),
+            "device_seconds": device,
+            "host_seconds": host,
+            "overlapped_seconds": overlap,
+            "idle_seconds": self.idle_seconds,
+            "component_totals": self.component_totals(),
+            "service_percentiles": self.service_percentiles(),
+            "queue": self.queue_stats(),
+        }
 
     def summary(self) -> str:
         """One-line human-readable summary (latencies in milliseconds)."""

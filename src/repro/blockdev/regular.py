@@ -90,7 +90,7 @@ class RegularDisk(BlockDevice):
             raise ValueError("idle time must be non-negative")
         # Queue-emptiness is the idle signal: the queue drains first, and
         # only then does idle wall-clock time pass.
-        self.scheduler.drain()
+        self.scheduler.barrier()
         self.disk.clock.advance(seconds)
 
     def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:

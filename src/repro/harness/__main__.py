@@ -24,6 +24,11 @@ service order (``fifo``, ``scan``, ``satf``).  The defaults (depth 1,
 FIFO) reproduce the unscheduled baseline byte-for-byte; anything else
 changes timings, so these flags force inline, uncached execution.
 
+Multi-host flags apply to ``figure_multihost`` (the event-engine
+scale-out sweep): ``--hosts N`` runs exactly ``N`` closed-loop host
+processes instead of the default host-count curve, and ``--disks M``
+stripes their requests across ``M`` independent device stacks.
+
 Resilience flags: ``--torture`` runs the composed-fault torture matrix
 (crash/torn/flaky/read-error plans over every workload; ``--full``
 widens it to the weekly multi-seed grid) instead of the experiments,
@@ -75,6 +80,7 @@ _QUICK = {
         bursts=4,
     ),
     "figure_qdepth": dict(depths=[1, 2, 4], requests=150),
+    "figure_multihost": dict(host_counts=[1, 2, 4], requests_per_host=80),
 }
 
 _FULL = {
@@ -87,10 +93,12 @@ _FULL = {
     "figure10": dict(),
     "figure11": dict(),
     "figure_qdepth": dict(),
+    "figure_multihost": dict(),
 }
 
 _ALL = ["table1", "figure1", "figure2", "figure6", "figure7", "figure8",
-        "table2", "figure9", "figure10", "figure11", "figure_qdepth"]
+        "table2", "figure9", "figure10", "figure11", "figure_qdepth",
+        "figure_multihost"]
 
 
 def _print_result(name: str, result) -> None:
@@ -184,6 +192,25 @@ def _print_result(name: str, result) -> None:
                 title=f"figure_qdepth: {workload} (mean service)",
             ))
             print()
+    elif name == "figure_multihost":
+        for workload, series in result.items():
+            rows = [
+                [
+                    int(series["hosts"][i]),
+                    series["requests_per_second"][i],
+                    series["mean_response_ms"][i],
+                    series["p99_response_ms"][i],
+                    series["p999_response_ms"][i],
+                    series["hidden_think_seconds"][i],
+                ]
+                for i in range(len(series["hosts"]))
+            ]
+            print(format_table(
+                ["hosts", "req/s", "mean resp (ms)", "p99 (ms)",
+                 "p999 (ms)", "hidden think (s)"],
+                rows, title=f"figure_multihost: {workload}",
+            ))
+            print()
     else:  # pragma: no cover - defensive
         print(result)
 
@@ -217,6 +244,12 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-stats", action="store_true",
                         help="print sweep cache/executor statistics after "
                              "each experiment")
+    parser.add_argument("--hosts", type=int, default=None, metavar="N",
+                        help="run figure_multihost with exactly N "
+                             "closed-loop host processes")
+    parser.add_argument("--disks", type=int, default=None, metavar="M",
+                        help="stripe figure_multihost requests across M "
+                             "independent device stacks (default: 1)")
     parser.add_argument("--queue-depth", type=int, default=None, metavar="N",
                         help="request-queue depth for every device stack "
                              "(default: 1, the unscheduled baseline)")
@@ -282,6 +315,10 @@ def main(argv=None) -> int:
             print("[sweep: interposer flags disable the result cache]",
                   file=sys.stderr)
             args.no_cache = True
+    if args.hosts is not None and args.hosts < 1:
+        parser.error("--hosts must be >= 1")
+    if args.disks is not None and args.disks < 1:
+        parser.error("--disks must be >= 1")
     cache = None if args.no_cache else ResultCache(args.cache)
     names = args.names or _ALL
     overrides = _FULL if args.full else _QUICK
@@ -292,7 +329,12 @@ def main(argv=None) -> int:
                       file=sys.stderr)
                 return 2
             fn = getattr(experiments, name)
-            kwargs = overrides.get(name, {})
+            kwargs = dict(overrides.get(name, {}))
+            if name == "figure_multihost":
+                if args.hosts is not None:
+                    kwargs["host_counts"] = [args.hosts]
+                if args.disks is not None:
+                    kwargs["disks"] = args.disks
             start = time.time()
             try:
                 result = fn(**kwargs)

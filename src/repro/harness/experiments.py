@@ -701,8 +701,102 @@ def figure_qdepth(
                 "queue_depth": [float(d) for d in depths],
                 "mean_service_ms": [r["mean_service_ms"] for r in runs],
                 "p95_service_ms": [r["p95_service_ms"] for r in runs],
+                "p99_service_ms": [r["p99_service_ms"] for r in runs],
+                "p999_service_ms": [r["p999_service_ms"] for r in runs],
                 "mean_response_ms": [r["mean_response_ms"] for r in runs],
+                "p99_response_ms": [r["p99_response_ms"] for r in runs],
                 "elapsed_seconds": [r["elapsed_seconds"] for r in runs],
             }
         result[workload] = per_policy
+    return result
+
+
+# ======================================================================
+# Multi-host sweep: N closed-loop hosts x M disks on the event engine
+# ======================================================================
+
+def _point_multihost(
+    *,
+    seed: int,
+    disk_name: str,
+    hosts: int,
+    disks: int,
+    requests_per_host: int,
+    workload: str,
+    policy: str,
+    think_us: float,
+) -> Dict[str, object]:
+    # Imported lazily: repro.hosts initializes before the harness, and
+    # the fork workers only pay for the driver when they run this point.
+    from repro.hosts.multihost import run_multihost
+
+    report = run_multihost(
+        DISKS[disk_name],
+        hosts=hosts,
+        disks=disks,
+        requests_per_host=requests_per_host,
+        think_seconds=think_us * 1e-6,
+        workload=workload,
+        policy=policy,
+        seed=seed,
+    )
+    report.pop("trace", None)
+    return report
+
+
+def figure_multihost(
+    host_counts: Optional[Sequence[int]] = None,
+    disks: int = 1,
+    workloads: Sequence[str] = ("random-update", "sequential"),
+    requests_per_host: int = 200,
+    think_us: float = 200.0,
+    policy: str = "fifo",
+    disk_name: str = "st19101",
+    seed: int = 3,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Throughput and tail latency vs host count on the event engine.
+
+    The scale-out counterpart of ``figure_qdepth``: instead of one host
+    queueing deeper, more closed-loop hosts share ``disks`` striped
+    device stacks.  Reports mean and p99/p999 response time (queueing
+    shows in the tail first), throughput, and the exactly-measured
+    think/service overlap per host count.
+    """
+    if host_counts is None:
+        host_counts = [1, 2, 4, 8]
+    points = [
+        SweepPoint(
+            f"{_HERE}:_point_multihost",
+            {
+                "disk_name": disk_name,
+                "hosts": hosts,
+                "disks": disks,
+                "requests_per_host": requests_per_host,
+                "workload": workload,
+                "policy": policy,
+                "think_us": think_us,
+            },
+            seed,
+        )
+        for workload in workloads
+        for hosts in host_counts
+    ]
+    values = iter(sweep_values(points))
+    result: Dict[str, Dict[str, List[float]]] = {}
+    for workload in workloads:
+        runs = [next(values) for _ in host_counts]
+        result[workload] = {
+            "hosts": [float(h) for h in host_counts],
+            "requests_per_second": [
+                float(r["requests_per_second"]) for r in runs
+            ],
+            "mean_response_ms": [float(r["mean_response_ms"]) for r in runs],
+            "p99_response_ms": [float(r["p99_response_ms"]) for r in runs],
+            "p999_response_ms": [float(r["p999_response_ms"]) for r in runs],
+            "mean_service_ms": [float(r["mean_service_ms"]) for r in runs],
+            "hidden_think_seconds": [
+                float(r["hidden_think_seconds"]) for r in runs
+            ],
+            "elapsed_seconds": [float(r["elapsed_seconds"]) for r in runs],
+        }
     return result

@@ -164,15 +164,19 @@ def simulate_queued_workload(
     elapsed = disk.clock.now - start
     service = scheduler.service_times.percentiles()
     response = scheduler.response_times
+    response_pct = response.percentiles()
     return {
         "elapsed_seconds": elapsed,
         "mean_service_ms": scheduler.busy_seconds / scheduler.serviced * 1e3,
         "p50_service_ms": service["p50"] * 1e3,
         "p95_service_ms": service["p95"] * 1e3,
         "p99_service_ms": service["p99"] * 1e3,
+        "p999_service_ms": service["p999"] * 1e3,
         "mean_response_ms": (
             response.sum / response.count * 1e3 if response.count else 0.0
         ),
+        "p99_response_ms": response_pct["p99"] * 1e3,
+        "p999_response_ms": response_pct["p999"] * 1e3,
         "requests_per_second": requests / elapsed if elapsed > 0 else 0.0,
         "max_outstanding": float(scheduler.max_outstanding),
     }

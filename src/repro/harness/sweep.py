@@ -9,7 +9,11 @@ parameters, and an explicit seed -- and :func:`run_sweep` executes them:
 
 * **in parallel** across a ``concurrent.futures.ProcessPoolExecutor``
   (``fork`` start method, so the workers share the already-imported
-  simulator) when ``jobs > 1``,
+  simulator) when ``jobs > 1`` -- points are *batched* into a few
+  chunks per worker (round-robin, so curves with cost gradients stay
+  balanced) because a typical point computes for well under the
+  per-task fork/IPC overhead; one task per point made ``jobs=4``
+  *slower* than serial,
 * **inline** when ``jobs == 1``, only one point misses the cache, or
   the platform lacks ``fork``,
 * **not at all** for points whose result is already in the
@@ -95,6 +99,7 @@ class SweepStats:
     cache_hits: int = 0
     cache_misses: int = 0
     submissions: int = 0  # points handed to the process pool
+    pool_tasks: int = 0  # chunks actually submitted (several points each)
     inline_runs: int = 0  # points executed in this process
     compute_seconds: float = 0.0  # summed per-point compute time
     wall_seconds: float = 0.0
@@ -104,6 +109,7 @@ class SweepStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.submissions += other.submissions
+        self.pool_tasks += other.pool_tasks
         self.inline_runs += other.inline_runs
         self.compute_seconds += other.compute_seconds
         self.wall_seconds += other.wall_seconds
@@ -111,7 +117,8 @@ class SweepStats:
     def summary(self) -> str:
         return (
             f"{self.points} points: {self.cache_hits} cached, "
-            f"{self.submissions} parallel, {self.inline_runs} inline; "
+            f"{self.submissions} parallel (in {self.pool_tasks} tasks), "
+            f"{self.inline_runs} inline; "
             f"compute {self.compute_seconds:.1f}s in "
             f"{self.wall_seconds:.1f}s wall"
         )
@@ -194,6 +201,12 @@ def _execute_point(point: SweepPoint):
     return value, time.perf_counter() - start
 
 
+def _execute_chunk(chunk: List[SweepPoint]):
+    """Worker body for a batch of points: one task's fork/IPC overhead
+    amortizes across the whole chunk."""
+    return [_execute_point(point) for point in chunk]
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     jobs: Optional[int] = None,
@@ -243,17 +256,30 @@ def run_sweep(
     if parallel:
         context = multiprocessing.get_context("fork")
         workers = min(jobs, len(pending))
+        # Coarsen the work units: several grid points per submitted task.
+        # Two chunks per worker amortizes the per-task overhead while
+        # leaving enough slack to absorb uneven point costs; round-robin
+        # assignment keeps chunks balanced when cost trends along the
+        # grid (deeper queues, larger files).
+        chunk_count = min(len(pending), workers * 2)
+        chunks = [pending[offset::chunk_count] for offset in range(chunk_count)]
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=context
         ) as pool:
             futures = [
-                (index, pool.submit(_execute_point, points[index]))
-                for index in pending
+                (
+                    chunk,
+                    pool.submit(
+                        _execute_chunk, [points[index] for index in chunk]
+                    ),
+                )
+                for chunk in chunks
             ]
-            stats.submissions += len(futures)
-            for index, future in futures:
-                value, seconds = future.result()
-                finish(index, value, seconds)
+            stats.submissions += len(pending)
+            stats.pool_tasks += len(futures)
+            for chunk, future in futures:
+                for index, (value, seconds) in zip(chunk, future.result()):
+                    finish(index, value, seconds)
     else:
         for index in pending:
             value, seconds = _execute_point(points[index])

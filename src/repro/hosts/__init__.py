@@ -1,4 +1,5 @@
-"""Host machine models (Section 4 / Figure 9's ``other`` component)."""
+"""Host machine models (Section 4 / Figure 9's ``other`` component) and
+the multi-host event-engine driver (:mod:`repro.hosts.multihost`)."""
 
 from repro.hosts.specs import (
     HostSpec,
@@ -7,4 +8,24 @@ from repro.hosts.specs import (
     HOSTS,
 )
 
-__all__ = ["HostSpec", "SPARCSTATION_10", "ULTRASPARC_170", "HOSTS"]
+__all__ = [
+    "HostSpec",
+    "SPARCSTATION_10",
+    "ULTRASPARC_170",
+    "HOSTS",
+    "run_multihost",
+    "format_report",
+]
+
+_MULTIHOST_EXPORTS = ("run_multihost", "format_report")
+
+
+def __getattr__(name):
+    # Lazy so that importing repro.hosts (which repro.harness.configs does
+    # for the specs) never drags in the driver's harness imports -- the
+    # packages would otherwise initialize each other mid-import.
+    if name in _MULTIHOST_EXPORTS:
+        from repro.hosts import multihost
+
+        return getattr(multihost, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,242 @@
+"""N hosts x M disks on the event engine.
+
+The ROADMAP scale-out item: run several closed-loop host processes, each
+with its own think time and seeded request stream, against a bank of
+independent device stacks (disk + request scheduler), all on one
+:class:`~repro.sim.engine.EventEngine`.  Requests stripe across the
+disks; each disk services its own queue as an engine process, so host
+think time genuinely overlaps disk service -- and the report measures
+that overlap *exactly* from the recorded think/service intervals rather
+than inferring it from clock gaps.
+
+Determinism: every host draws from its own ``random.Random`` stream and
+the engine breaks event ties by schedule order, so a run is a pure
+function of its arguments -- byte-identical across repeats and across
+process boundaries (the ``--jobs N`` sweep).  With ``hosts=1`` host 0's
+stream is seeded exactly like
+:func:`repro.harness.runner.simulate_queued_workload`'s, so the
+single-host fifo configuration replays the synchronous depth-1 path
+call-for-call (the identity test pins this).
+
+Tail latency: service and response distributions are reported at
+p50/p95/p99/p999 -- under concurrency the p99/p999 response tail is
+where queueing shows first, which is the point of running more than one
+host.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.disk.disk import Disk
+from repro.disk.specs import DiskSpec
+from repro.harness.runner import QUEUE_WORKLOADS
+from repro.sched.scheduler import DiskScheduler
+from repro.sim.engine import EventEngine
+from repro.sim.metrics import LatencyHistogram
+
+
+def run_multihost(
+    spec: DiskSpec,
+    hosts: int = 4,
+    disks: int = 1,
+    requests_per_host: int = 200,
+    request_sectors: int = 8,
+    think_seconds: Union[float, Sequence[float]] = 0.0002,
+    workload: str = "random-update",
+    policy: str = "fifo",
+    seed: int = 3,
+    num_cylinders: int = 0,
+    trace: bool = False,
+) -> Dict[str, object]:
+    """Drive ``hosts`` closed-loop writers against ``disks`` device stacks.
+
+    Each host thinks (a real engine timer), submits one striped write of
+    ``request_sectors`` sectors, and waits for its completion event --
+    the classic closed loop, so each host keeps at most one request in
+    flight and concurrency comes from the host count.  ``think_seconds``
+    may be a scalar or one value per host (per-client think times).
+    Workloads match :data:`~repro.harness.runner.QUEUE_WORKLOADS`, drawn
+    per host from ``random.Random(seed + 1000003 * host)``.
+
+    Returns a report with mean/p50/p95/p99/p999 service and response
+    times (milliseconds), throughput, per-disk busy time, and the
+    overlap metrics: ``hidden_think_seconds`` is the aggregate host
+    think time that fell inside disk busy time (exact interval
+    intersection; zero for one host at depth 1, positive once hosts
+    overlap each other's service).  With ``trace=True`` the full
+    ``(time, seq, name)`` event trace rides along for determinism diffs.
+    """
+    if workload not in QUEUE_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; known: "
+            + ", ".join(QUEUE_WORKLOADS)
+        )
+    if hosts <= 0 or disks <= 0:
+        raise ValueError("host and disk counts must be positive")
+    if requests_per_host <= 0:
+        raise ValueError("request count must be positive")
+    thinks = _per_host_thinks(think_seconds, hosts)
+
+    engine = EventEngine(trace=trace)
+    stacks = [
+        Disk(spec, num_cylinders=num_cylinders, store_data=False)
+        for _ in range(disks)
+    ]
+    schedulers = [
+        DiskScheduler(disk, policy=policy, queue_depth=1) for disk in stacks
+    ]
+    for index, scheduler in enumerate(schedulers):
+        scheduler.attach_engine(engine, name=f"disk{index}")
+
+    # One addressable stripe unit per aligned run, across all disks:
+    # target t lives on disk t % disks at aligned run t // disks.
+    aligned_per_disk = stacks[0].geometry.total_sectors // request_sectors
+    stripe_units = aligned_per_disk * disks
+
+    def host(index: int):
+        rng = random.Random(seed + 1000003 * index)
+        name = f"host{index}"
+        think = thinks[index]
+        # Matches simulate_queued_workload: the cursor is drawn before
+        # the loop for every workload (identity depends on stream shape).
+        cursor = rng.randrange(stripe_units)
+        for i in range(requests_per_host):
+            if think > 0.0:
+                start = engine.now
+                yield think
+                engine.intervals.note("think", name, start, engine.now)
+            if workload == "random-update":
+                target = rng.randrange(stripe_units)
+            elif workload == "sequential":
+                target = (cursor + i) % stripe_units
+            else:  # mixed
+                if i % 2:
+                    target = rng.randrange(stripe_units)
+                else:
+                    cursor = (cursor + 1) % stripe_units
+                    target = cursor
+            scheduler = schedulers[target % disks]
+            sector = (target // disks) * request_sectors
+            req = scheduler.submit("write", sector, request_sectors)
+            if not req.done:
+                assert req.completed is not None
+                yield req.completed
+
+    for index in range(hosts):
+        engine.spawn(host(index), name=f"host{index}")
+    engine.run()
+    for scheduler in schedulers:
+        scheduler.close()
+    engine.run()  # let the disk processes terminate
+
+    return _report(engine, schedulers, hosts, disks, requests_per_host, trace)
+
+
+def _per_host_thinks(
+    think_seconds: Union[float, Sequence[float]], hosts: int
+) -> List[float]:
+    if isinstance(think_seconds, (int, float)):
+        thinks = [float(think_seconds)] * hosts
+    else:
+        thinks = [float(value) for value in think_seconds]
+        if len(thinks) != hosts:
+            raise ValueError(
+                f"got {len(thinks)} think times for {hosts} hosts"
+            )
+    if any(value < 0.0 for value in thinks):
+        raise ValueError("think time must be non-negative")
+    return thinks
+
+
+def _report(
+    engine: EventEngine,
+    schedulers: List[DiskScheduler],
+    hosts: int,
+    disks: int,
+    requests_per_host: int,
+    trace: bool,
+) -> Dict[str, object]:
+    service = LatencyHistogram()
+    response = LatencyHistogram()
+    busy = 0.0
+    serviced = 0
+    for scheduler in schedulers:
+        service.merge(scheduler.service_times)
+        response.merge(scheduler.response_times)
+        busy += scheduler.busy_seconds
+        serviced += scheduler.serviced
+    intervals = engine.intervals
+    elapsed = engine.now
+    requests = hosts * requests_per_host
+    assert serviced == requests
+
+    service_pct = service.percentiles()
+    response_pct = response.percentiles()
+    report: Dict[str, object] = {
+        "hosts": hosts,
+        "disks": disks,
+        "requests": requests,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": requests / elapsed if elapsed > 0 else 0.0,
+        "mean_service_ms": service.mean() * 1e3,
+        "mean_response_ms": response.mean() * 1e3,
+        # Aggregate host think time that fell inside disk busy time:
+        # the overlap the event loop makes real (and measurable).
+        "hidden_think_seconds": intervals.per_key_overlap("think", "service"),
+        "think_seconds": sum(
+            intervals.total("think", key) for key in intervals.keys("think")
+        ),
+        "disk_busy_seconds": {
+            key: intervals.total("service", key)
+            for key in intervals.keys("service")
+        },
+        "max_outstanding": max(s.max_outstanding for s in schedulers),
+        "events": engine.events_fired,
+    }
+    for name, value in service_pct.items():
+        report[f"{name}_service_ms"] = value * 1e3
+    for name, value in response_pct.items():
+        report[f"{name}_response_ms"] = value * 1e3
+    if trace and engine.trace is not None:
+        report["trace"] = engine.trace.as_tuples()
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """A compact human-readable rendering of a multihost report."""
+    busy = report["disk_busy_seconds"]
+    assert isinstance(busy, dict)
+    lines = [
+        (
+            f"{report['hosts']} host(s) x {report['disks']} disk(s): "
+            f"{report['requests']} requests in "
+            f"{float(report['elapsed_seconds']):.4f}s "
+            f"({float(report['requests_per_second']):.0f} req/s)"
+        ),
+        (
+            "service ms: "
+            f"mean={float(report['mean_service_ms']):.3f} "
+            f"p50={float(report['p50_service_ms']):.3f} "
+            f"p95={float(report['p95_service_ms']):.3f} "
+            f"p99={float(report['p99_service_ms']):.3f} "
+            f"p999={float(report['p999_service_ms']):.3f}"
+        ),
+        (
+            "response ms: "
+            f"mean={float(report['mean_response_ms']):.3f} "
+            f"p50={float(report['p50_response_ms']):.3f} "
+            f"p95={float(report['p95_response_ms']):.3f} "
+            f"p99={float(report['p99_response_ms']):.3f} "
+            f"p999={float(report['p999_response_ms']):.3f}"
+        ),
+        (
+            f"overlap: hidden_think={float(report['hidden_think_seconds']):.4f}s "
+            f"of {float(report['think_seconds']):.4f}s think; busy "
+            + " ".join(
+                f"{key}={float(value):.4f}s" for key, value in busy.items()
+            )
+        ),
+    ]
+    return "\n".join(lines)

@@ -14,6 +14,16 @@ every request at submit time, which issues literally the same
 ``disk.read``/``disk.write`` call sequence as the unscheduled seed code:
 the byte-identity guarantee the figure pins rely on.
 
+Engine mode: under an :class:`~repro.sim.engine.EventEngine` the
+scheduler is a *process* (:meth:`attach_engine`).  Hosts enqueue with
+:meth:`submit` and wait on the request's ``completed`` signal; the disk
+process services work-conservingly whenever requests are pending, each
+service occupying a real span of engine time, and completion is an
+*event* -- not a lazy drain somebody has to remember to call.  A write
+barrier is then just :meth:`wait_drained`.  The synchronous path above
+is untouched (and :meth:`barrier` falls back to :meth:`drain` there), so
+depth-1 figure identity holds by construction.
+
 Starvation: greedy policies (SATF especially) can pass over a distant
 request indefinitely under a hostile arrival stream.  The scheduler
 counts how often each pending request is passed over by a *policy*
@@ -25,10 +35,11 @@ count ever exceeds the bound.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Generator, List, Optional, Tuple, Union
 
 from repro.disk.disk import Disk
 from repro.sched.policies import SchedulingPolicy, make_policy
+from repro.sim.engine import EventEngine, Process, Signal, Until
 from repro.sim.metrics import LatencyHistogram
 from repro.sim.stats import Breakdown
 
@@ -51,6 +62,7 @@ class DiskRequest:
         "breakdown",
         "service_start",
         "completion",
+        "completed",
     )
 
     def __init__(
@@ -77,6 +89,9 @@ class DiskRequest:
         self.breakdown: Optional[Breakdown] = None
         self.service_start: Optional[float] = None
         self.completion: Optional[float] = None
+        #: Completion event, set by :meth:`DiskScheduler.submit` in engine
+        #: mode; ``None`` on the synchronous path.
+        self.completed: Optional[Signal] = None
 
     def __repr__(self) -> str:
         state = "done" if self.done else f"pending(passes={self.passes})"
@@ -123,6 +138,13 @@ class DiskScheduler:
         self.max_outstanding = 0
         self.service_times = LatencyHistogram()
         self.response_times = LatencyHistogram()
+        # Engine mode (attach_engine): the scheduler as an event process.
+        self._engine: Optional[EventEngine] = None
+        self.name = "disk"
+        self._submitted: Optional[Signal] = None
+        self._drained: Optional[Signal] = None
+        self._busy = False
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Submission
@@ -171,8 +193,15 @@ class DiskScheduler:
         data: Optional[bytes],
         charge_scsi: bool,
     ) -> DiskRequest:
+        # Arrival is host-side time: engine time when attached (the disk's
+        # local clock may sit ahead at its free-at frontier), disk clock
+        # otherwise (synchronously the two are the same clock).
+        arrival = (
+            self._engine.now if self._engine is not None
+            else self.disk.clock.now
+        )
         req = DiskRequest(
-            op, sector, count, data, charge_scsi, self._seq, self.disk.clock.now
+            op, sector, count, data, charge_scsi, self._seq, arrival
         )
         self._seq += 1
         self._pending.append(req)
@@ -243,6 +272,19 @@ class DiskScheduler:
             self.service_one()
         return self.take_breakdown()
 
+    def barrier(self) -> Breakdown:
+        """Wait until no request is outstanding (the write-ahead barrier
+        the virtual-log layers rely on).  Synchronously that *is* a
+        drain; under the engine the disk process is already servicing, so
+        a process instead waits on the drained event via
+        :meth:`wait_drained` and claims breakdowns afterwards."""
+        if self._engine is not None:
+            raise RuntimeError(
+                "synchronous barrier() on an engine-attached scheduler; "
+                "yield from wait_drained() instead"
+            )
+        return self.drain()
+
     def take_breakdown(self) -> Breakdown:
         """Claim the breakdowns of writes serviced since the last claim."""
         out = self._unclaimed
@@ -255,3 +297,91 @@ class DiskScheduler:
         dropped = self._pending
         self._pending = []
         return dropped
+
+    # ------------------------------------------------------------------
+    # Engine mode: the scheduler as an event process
+    # ------------------------------------------------------------------
+
+    def attach_engine(self, engine: EventEngine, name: str = "disk") -> Process:
+        """Spawn this scheduler as a named process of ``engine``.
+
+        From then on hosts enqueue with :meth:`submit` and wait on each
+        request's ``completed`` signal; the process services pending
+        requests work-conservingly, each service spanning real engine
+        time (recorded as a ``"service"`` interval for exact overlap
+        accounting).  The disk's own clock becomes a local free-at
+        frontier: advanced to engine time before each service, then ahead
+        of it while the closed-form mechanics price the operation, with
+        the engine catching up via a timer.
+        """
+        if self._engine is not None:
+            raise RuntimeError(f"scheduler {self.name!r} already attached")
+        self._engine = engine
+        self.name = name
+        self._submitted = engine.signal(f"{name}.submitted")
+        self._drained = engine.signal(f"{name}.drained")
+        return engine.spawn(self._run(), name=name)
+
+    def submit(
+        self,
+        op: str,
+        sector: int,
+        count: int = 1,
+        data: Optional[bytes] = None,
+        charge_scsi: bool = True,
+    ) -> DiskRequest:
+        """Enqueue without servicing (engine mode).  Returns the request;
+        its ``completed`` signal fires -- with the request as value -- at
+        the service's real completion time."""
+        if self._engine is None or self._submitted is None:
+            raise RuntimeError("submit() requires attach_engine()")
+        req = self._enqueue(op, sector, count, data, charge_scsi)
+        req.completed = self._engine.signal(
+            f"{self.name}.req{req.seq}.completed"
+        )
+        self._submitted.fire()
+        return req
+
+    def wait_drained(self) -> Generator:
+        """Engine-mode barrier: a generator to ``yield from`` that
+        returns once nothing is queued or in service."""
+        if self._drained is None:
+            raise RuntimeError("wait_drained() requires attach_engine()")
+        while self._pending or self._busy:
+            yield self._drained
+
+    def close(self) -> None:
+        """End the disk process once its queue drains (run teardown)."""
+        self._closed = True
+        if self._submitted is not None:
+            self._submitted.fire()
+
+    def _run(self) -> Generator:
+        engine = self._engine
+        assert engine is not None
+        assert self._submitted is not None and self._drained is not None
+        while True:
+            if not self._pending:
+                self._drained.fire()
+                if self._closed:
+                    return
+                yield self._submitted
+                continue
+            start = engine.now
+            # Catch the local frontier up to global time, service
+            # closed-form (the disk clock runs ahead), then sleep the
+            # service duration so engine time matches the completion.
+            self.disk.clock.advance_to(start)
+            self._busy = True
+            req = self.service_one()
+            end = self.disk.clock.now
+            engine.intervals.note("service", self.name, start, end)
+            # Absolute, not a delay: `now + (end - now)` need not equal
+            # `end` in floating point, and the depth-1 identity demands
+            # engine time land bit-exactly on the closed-form completion.
+            # (When the disk clock *is* the engine clock, `end` is
+            # already now and this resumes immediately.)
+            yield Until(end)
+            self._busy = False
+            if req.completed is not None:
+                req.completed.fire(req)

@@ -8,6 +8,17 @@ running deterministically and fast.
 """
 
 from repro.sim.clock import SimClock
+from repro.sim.engine import (
+    Event,
+    EventEngine,
+    EventTrace,
+    IntervalRecorder,
+    Process,
+    Resource,
+    Signal,
+    Timer,
+    Until,
+)
 from repro.sim.metrics import LatencyHistogram, OpCounters
 from repro.sim.stats import (
     COMPONENTS,
@@ -22,4 +33,13 @@ __all__ = [
     "LatencyRecorder",
     "LatencyHistogram",
     "OpCounters",
+    "Event",
+    "EventEngine",
+    "EventTrace",
+    "IntervalRecorder",
+    "Process",
+    "Resource",
+    "Signal",
+    "Timer",
+    "Until",
 ]

@@ -4,9 +4,25 @@ The clock only moves forward.  Disk mechanics, SCSI command processing, and
 host CPU overheads all advance it; experiment harnesses read elapsed simulated
 time to report latencies and bandwidths exactly the way the paper's modified
 Solaris kernel reported wall-clock time.
+
+Since the event-core refactor a clock can play two roles:
+
+* **View over engine time.**  When an :class:`~repro.sim.engine.EventEngine`
+  adopts (or creates) a clock, the engine owns the timeline and the clock
+  is how the rest of the codebase reads it: firing an event advances the
+  bound clock to the event's time.  :meth:`bind` records the association.
+* **Local frontier.**  A clock not bound to an engine -- e.g. a
+  :class:`~repro.disk.disk.Disk`'s own clock under the multi-host driver
+  -- marks when that component is next free.  Synchronous mechanics code
+  advances it closed-form past the engine's global view ("local
+  lookahead"); the owning process then yields a timer for the difference
+  so the engine catches up.  Either way the mechanics code is unchanged:
+  rotational position stays a pure function of ``clock.now``.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional
 
 
 class SimClock:
@@ -16,6 +32,19 @@ class SimClock:
         if start < 0.0:
             raise ValueError("clock cannot start before time zero")
         self._now = float(start)
+        self._engine: Optional[Any] = None
+
+    def bind(self, engine: Any) -> None:
+        """Mark this clock as the time view of ``engine`` (informational:
+        the engine advances the clock; consumers may check :attr:`engine`
+        to find the event loop that drives them)."""
+        self._engine = engine
+
+    @property
+    def engine(self) -> Optional[Any]:
+        """The :class:`~repro.sim.engine.EventEngine` this clock views,
+        or ``None`` for a standalone/local-frontier clock."""
+        return self._engine
 
     @property
     def now(self) -> float:

@@ -1,0 +1,518 @@
+"""The discrete-event simulation core.
+
+PR 5 modelled overlap by *inference*: time accumulated inside synchronous
+``Disk`` calls, host think time advanced the clock only when the queue
+happened to be empty, and the metrics layer attributed clock *gaps* to
+host or device after the fact.  That worked for one host over one disk at
+modest depth, but drain barriers, lazy service, and gap heuristics do not
+compose to N hosts hammering M disks.
+
+:class:`EventEngine` replaces inference with an actual event loop:
+
+* a heap of ``(time, seq, event)`` with **deterministic tie-breaking**
+  (events scheduled for the same instant fire in scheduling order --
+  ``seq`` is a monotone counter, so a run is a pure function of the
+  schedule calls, never of heap internals or hash order);
+* **named processes** -- plain Python generators adopted via
+  :meth:`EventEngine.spawn`.  A process yields what it is waiting for:
+  a delay (seconds or a :class:`Timer`), a :class:`Signal`, or a
+  resource grant -- and is resumed by the engine when that occurs;
+* **timers** and **wait/signal primitives** (:class:`Signal`,
+  :class:`Resource`) so service completion is an *event* other
+  processes block on, not a lazy drain somebody has to remember to
+  call;
+* an optional **event trace** -- the exact ``(time, seq, name)``
+  sequence of fired events -- which is what the determinism tests diff
+  across runs and across ``--jobs 1`` vs ``--jobs N``;
+* an :class:`IntervalRecorder` collecting the *real* busy/think/idle
+  intervals of every process, from which host/disk/overlap time is
+  computed exactly (interval intersection) instead of by clock-gap
+  attribution.
+
+Time relationship: the engine owns the timeline; its
+:class:`~repro.sim.clock.SimClock` is the *view* of engine time that the
+rest of the codebase reads (``clock.now``) -- firing an event advances
+the view to the event's time.  Synchronous device code running inside a
+process turn may still advance a *local* clock past the engine frontier
+(a disk pricing a whole service closed-form); the process then yields a
+timer for the difference, and the engine catches the global view up.
+That local-lookahead rule is what lets the closed-form mechanics engine
+(`repro.disk`) run unmodified under the event core.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.sim.clock import SimClock
+
+
+class Event:
+    """One scheduled occurrence.
+
+    Fires ``action`` at ``time``; :meth:`cancel` makes it a no-op without
+    the cost of a heap delete (the heap entry stays and is skipped).
+    """
+
+    __slots__ = ("time", "seq", "name", "action", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, name: str, action: Callable[[], None]
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.name = name
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event({self.name!r} @ {self.time:.9f}s #{self.seq}{state})"
+
+
+class Timer:
+    """A yieldable delay: ``yield Timer(dt)`` resumes the process after
+    ``dt`` seconds of engine time (bare non-negative numbers work too)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0.0:
+            raise ValueError("timer delay must be non-negative")
+        self.delay = delay
+
+
+class Until:
+    """A yieldable *absolute* resumption: ``yield Until(t)`` resumes the
+    process exactly at engine time ``t`` (immediately if ``t`` is already
+    past).  Unlike a delay, there is no ``now + (t - now)`` float
+    round-trip -- the local-lookahead catch-up (a disk pricing a whole
+    service closed-form, then handing the timeline back) uses this so
+    engine time lands *bit-exactly* on the closed-form end, which the
+    depth-1 identity tests rely on.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+
+
+class Signal:
+    """A wait/signal primitive.
+
+    Processes wait by yielding the signal; :meth:`fire` resumes every
+    current waiter (in the order they started waiting -- deterministic)
+    with the fired value.  A signal carries no memory: firing with no
+    waiters is a no-op, so guard with state (``if not req.done: yield
+    req.completed``) when the occurrence may precede the wait.
+    """
+
+    __slots__ = ("engine", "name", "_waiters", "fires")
+
+    def __init__(self, engine: "EventEngine", name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fires = 0
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake every waiter (resumed via zero-delay events, so wake-ups
+        interleave deterministically with everything else scheduled for
+        this instant).  Returns the number of processes woken."""
+        self.fires += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine.after(
+                0.0,
+                lambda p=process, v=value: p._resume(v),
+                name=f"{self.name}->{process.name}",
+            )
+        return len(waiters)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` concurrent holders.
+
+    ``grant = resource.request(); yield grant`` acquires (the grant
+    signal fires when a slot frees up -- immediately, via a zero-delay
+    event, if one is free now); :meth:`release` hands the slot to the
+    oldest queued request.  Grant order is strictly first-come-first-
+    served, so contention resolves deterministically.
+    """
+
+    __slots__ = ("engine", "name", "capacity", "in_use", "_queue")
+
+    def __init__(
+        self, engine: "EventEngine", capacity: int = 1, name: str = "resource"
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("resource capacity must be positive")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: List[Signal] = []
+
+    def request(self) -> Signal:
+        grant = Signal(self.engine, f"{self.name}.grant")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            # Fire on the next engine step: the requester has not yielded
+            # the grant yet (it is still mid-turn), and zero-delay events
+            # preserve request order.
+            self.engine.after(0.0, grant.fire, name=f"{self.name}.acquire")
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            grant = self._queue.pop(0)
+            self.engine.after(0.0, grant.fire, name=f"{self.name}.acquire")
+        else:
+            self.in_use -= 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource({self.name!r}, {self.in_use}/{self.capacity} used, "
+            f"{len(self._queue)} queued)"
+        )
+
+
+class Process:
+    """A named generator adopted by the engine.
+
+    The generator yields what it waits for -- a delay (number or
+    :class:`Timer`), an absolute time (:class:`Until`), a
+    :class:`Signal`, or ``None`` (yield the turn, resume at the same
+    instant after pending same-time events).  When it
+    returns, ``done`` flips and ``terminated`` fires with the return
+    value (also stored in ``result``).
+    """
+
+    __slots__ = ("engine", "name", "_gen", "done", "result", "terminated")
+
+    def __init__(
+        self,
+        engine: "EventEngine",
+        gen: Generator[Any, Any, Any],
+        name: str,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self._gen = gen
+        self.done = False
+        self.result: Any = None
+        self.terminated = Signal(engine, f"{name}.terminated")
+
+    def _resume(self, value: Any = None) -> None:
+        if self.done:
+            return
+        try:
+            waited = self._gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self.terminated.fire(stop.value)
+            return
+        self._interpret(waited)
+
+    def _interpret(self, waited: Any) -> None:
+        if waited is None:
+            self.engine.after(0.0, self._resume, name=f"{self.name}.turn")
+        elif isinstance(waited, Timer):
+            self.engine.after(
+                waited.delay, self._resume, name=f"{self.name}.timer"
+            )
+        elif isinstance(waited, (int, float)):
+            self.engine.after(
+                float(waited), self._resume, name=f"{self.name}.timer"
+            )
+        elif isinstance(waited, Until):
+            self.engine.at(
+                max(waited.time, self.engine.now),
+                self._resume,
+                name=f"{self.name}.until",
+            )
+        elif isinstance(waited, Signal):
+            waited._add_waiter(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {waited!r}; expected a "
+                "delay, Timer, Until, Signal, or None"
+            )
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class EventTrace:
+    """The fired-event record the determinism tests diff.
+
+    Each entry is ``(time, seq, name)`` -- seq included so that even
+    same-instant reorderings (the hostile case) are visible.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[float, int, str]] = []
+
+    def note(self, event: Event) -> None:
+        self.records.append((event.time, event.seq, event.name))
+
+    def as_tuples(self) -> List[Tuple[float, int, str]]:
+        return list(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _merge(intervals: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Union of intervals as a sorted, disjoint list."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _intersection_seconds(
+    a: List[Tuple[float, float]], b: List[Tuple[float, float]]
+) -> float:
+    """Total length of the intersection of two disjoint sorted lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+class IntervalRecorder:
+    """Real event intervals, by kind and key.
+
+    Processes note what they actually did and when -- ``("service",
+    "disk0", start, end)``, ``("think", "host2", ...)`` -- and reports
+    are computed by exact interval arithmetic: total busy time is the
+    measure of the union, overlap is the measure of an intersection.
+    This replaces the PR 5 clock-gap attribution heuristics with ground
+    truth.
+    """
+
+    def __init__(self) -> None:
+        #: kind -> key -> [(start, end), ...] in note order.
+        self._raw: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+
+    def note(self, kind: str, key: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"interval ends before it starts: {start}..{end}")
+        if end == start:
+            return
+        self._raw.setdefault(kind, {}).setdefault(key, []).append((start, end))
+
+    def keys(self, kind: str) -> List[str]:
+        return sorted(self._raw.get(kind, {}))
+
+    def merged(
+        self, kind: str, key: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """Union of intervals for one key, or across every key of a kind."""
+        per_key = self._raw.get(kind, {})
+        if key is not None:
+            return _merge(per_key.get(key, []))
+        spans: List[Tuple[float, float]] = []
+        for intervals in per_key.values():
+            spans.extend(intervals)
+        return _merge(spans)
+
+    def total(self, kind: str, key: Optional[str] = None) -> float:
+        return sum(end - start for start, end in self.merged(kind, key))
+
+    def overlap(
+        self,
+        kind_a: str,
+        kind_b: str,
+        key_a: Optional[str] = None,
+        key_b: Optional[str] = None,
+    ) -> float:
+        """Seconds during which both kinds were in progress (union-level:
+        concurrent intervals of the same kind count once)."""
+        return _intersection_seconds(
+            self.merged(kind_a, key_a), self.merged(kind_b, key_b)
+        )
+
+    def per_key_overlap(self, kind_a: str, kind_b: str) -> float:
+        """Aggregate overlap: each key of ``kind_a`` intersected with the
+        union of ``kind_b``, then summed.  This is the "aggregate host
+        think time hidden behind disk service" metric: two hosts thinking
+        through the same busy second both hid a second of work."""
+        busy = self.merged(kind_b)
+        return sum(
+            _intersection_seconds(self.merged(kind_a, key), busy)
+            for key in self.keys(kind_a)
+        )
+
+
+class EventEngine:
+    """The heap-of-events core.
+
+    Args:
+        clock: The :class:`SimClock` serving as the view of engine time
+            (a fresh one is created when omitted).  Firing an event
+            advances it to the event's time; it never runs backwards.
+        trace: Record every fired event into :attr:`trace` (the
+            determinism-diff artifact).  Off by default -- tracing a
+            long run costs memory.
+    """
+
+    def __init__(
+        self, clock: Optional[SimClock] = None, trace: bool = False
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.clock.bind(self)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self.events_fired = 0
+        self.trace: Optional[EventTrace] = EventTrace() if trace else None
+        self.processes: Dict[str, Process] = {}
+        #: Real busy/think/idle intervals, for exact overlap accounting.
+        self.intervals = IntervalRecorder()
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current engine time (the clock is the view of this)."""
+        return self.clock.now
+
+    def at(
+        self, time: float, action: Callable[[], None], name: str = "event"
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule {name!r} at {time!r}, "
+                f"before now ({self.clock.now!r})"
+            )
+        event = Event(time, self._seq, name, action)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def after(
+        self, delay: float, action: Callable[[], None], name: str = "event"
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ValueError("delay must be non-negative")
+        return self.at(self.clock.now + delay, action, name)
+
+    def timer(self, delay: float) -> Timer:
+        return Timer(delay)
+
+    def signal(self, name: str = "signal") -> Signal:
+        return Signal(self, name)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self, gen: Generator[Any, Any, Any], name: str = "process"
+    ) -> Process:
+        """Adopt a generator as a named process and give it its first
+        turn via a zero-delay event (so spawn order *is* first-turn
+        order, deterministically)."""
+        process = Process(self, gen, name)
+        self.processes[name] = process
+        self.after(0.0, process._resume, name=f"{name}.start")
+        return process
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Events still scheduled (including cancelled placeholders)."""
+        return len(self._heap)
+
+    def step(self) -> Optional[Event]:
+        """Fire the next non-cancelled event; ``None`` when idle."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self.events_fired += 1
+            if self.trace is not None:
+                self.trace.note(event)
+            event.action()
+            return event
+        return None
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 0
+    ) -> int:
+        """Fire events until the heap drains (or past ``until``, or
+        ``max_events`` -- a runaway-loop backstop when positive).
+        Returns the number of events fired."""
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            if self.step() is None:
+                break
+            fired += 1
+            if max_events and fired >= max_events:
+                raise RuntimeError(
+                    f"engine exceeded {max_events} events "
+                    f"(t={self.clock.now:.6f}s) -- runaway process?"
+                )
+        if until is not None:
+            self.clock.advance_to(until)
+        return fired
+
+    def __repr__(self) -> str:
+        return (
+            f"EventEngine(t={self.clock.now:.9f}s, pending={self.pending}, "
+            f"fired={self.events_fired})"
+        )

@@ -110,11 +110,13 @@ class LatencyHistogram:
         return self.base * 2.0 ** (max(self.buckets) + 1)
 
     def percentiles(self) -> Dict[str, float]:
-        """The standard latency-report trio (bucket-resolution seconds)."""
+        """The standard latency report (bucket-resolution seconds): median,
+        p95, and the p99/p999 tail the concurrency experiments care about."""
         return {
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
         }
 
     def as_dict(self) -> Dict[str, int]:

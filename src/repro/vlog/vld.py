@@ -212,7 +212,7 @@ class VirtualLogDisk(BlockDevice):
             # Read barrier: queued eager writes must reach the media first
             # (they may cover the very sectors being read).  Their costs
             # ride on the request that forced the flush.
-            flushed = self.scheduler.drain()
+            flushed = self.scheduler.barrier()
             if breakdown is not None:
                 breakdown.add(flushed)
         if self.resilience is not None:
@@ -247,7 +247,7 @@ class VirtualLogDisk(BlockDevice):
         observed a fault spends every idle cycle exactly as before."""
         if seconds < 0.0:
             raise ValueError("idle time must be non-negative")
-        self.scheduler.drain()
+        self.scheduler.barrier()
         self.idle_manager.grant(seconds)
 
     # ------------------------------------------------------------------
@@ -349,7 +349,7 @@ class VirtualLogDisk(BlockDevice):
         # Write barrier, then the commit point: every queued data write
         # must reach the media before the map chunk's log record does, or
         # a crash between them would recover mappings to unwritten blocks.
-        breakdown.add(self.scheduler.drain())
+        breakdown.add(self.scheduler.barrier())
         breakdown.add(
             self.vlog.append(chunk_id, self.imap.chunk_entries(chunk_id))
         )
@@ -389,7 +389,7 @@ class VirtualLogDisk(BlockDevice):
         disk otherwise lacks; Section 4.2 notes un-overwritten frees are
         missed without this)."""
         self.check_lba(lba, count)
-        breakdown = self.scheduler.drain()  # barrier before the log commit
+        breakdown = self.scheduler.barrier()  # before the log commit
         self._disarm_power_record(breakdown)
         touched: Dict[int, None] = {}
         displaced: List[int] = []
@@ -430,7 +430,7 @@ class VirtualLogDisk(BlockDevice):
 
     def power_down(self, timed: bool = True) -> Breakdown:
         """Orderly shutdown: persist the log tail at the fixed location."""
-        breakdown = self.scheduler.drain()  # nothing may outlive the queue
+        breakdown = self.scheduler.barrier()  # nothing may outlive the queue
         if self.vlog.tail is None:
             return breakdown
         self._power_record_armed = True
@@ -508,7 +508,7 @@ class VirtualLogDisk(BlockDevice):
         media_errors_before = (
             resilience.media_errors if resilience is not None else 0
         )
-        breakdown = self.scheduler.drain()  # a live recover flushes first
+        breakdown = self.scheduler.barrier()  # a live recover flushes first
         degraded = False
         skip_sectors = (self.POWER_DOWN_BLOCK + 1) * self.sectors_per_block
         if resilience is not None:

@@ -301,7 +301,7 @@ class TestQueueAwareMetrics:
         assert pct["p50"] <= pct["p95"] <= pct["p99"]
         assert metered.service_percentiles() == pct
         assert metered.service_percentiles("read") == {
-            "p50": 0.0, "p95": 0.0, "p99": 0.0
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "p999": 0.0
         }
 
     def test_real_scheduler_depth_four_reports_overlap(self, disk):

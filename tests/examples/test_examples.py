@@ -63,6 +63,19 @@ class TestDatabaseCommit:
         assert means["vld"] < means["regular"] / 2
 
 
+class TestMultihostDemo:
+    def test_overlap_story_holds(self, capsys):
+        load("multihost_demo").main()
+        out = capsys.readouterr().out
+        # The depth-1 closed loop hides exactly zero think time...
+        assert "1 host hides 0.0000s" in out
+        assert "exactly zero by construction" in out
+        # ...while four hosts hide a real, positive amount.
+        assert "4 hosts hide 0." in out
+        assert "4 hosts hide 0.0000s" not in out
+        assert "p99 response" in out
+
+
 class TestFilesystemAging:
     def test_aging_and_measurement_pipeline(self):
         module = load("filesystem_aging")

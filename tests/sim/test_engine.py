@@ -1,0 +1,319 @@
+"""The discrete-event core: ordering, processes, primitives, intervals.
+
+The load-bearing guarantees:
+
+* deterministic tie-breaking -- events at the same instant fire in
+  scheduling order, so a run's event trace is a pure function of the
+  schedule calls (the hostile same-timestamp test);
+* processes, timers, and wait/signal compose without consuming time
+  they should not;
+* interval arithmetic (union, intersection, per-key overlap) is exact.
+"""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import (
+    EventEngine,
+    IntervalRecorder,
+    Timer,
+    Until,
+)
+
+
+class TestEventOrdering:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine(trace=True)
+        fired = []
+        engine.at(0.3, lambda: fired.append("c"), name="c")
+        engine.at(0.1, lambda: fired.append("a"), name="a")
+        engine.at(0.2, lambda: fired.append("b"), name="b")
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 0.3
+
+    def test_same_timestamp_fires_in_schedule_order(self):
+        """The hostile case: many events at one instant, scheduled in a
+        deliberately adversarial order.  Tie-breaking is the scheduling
+        sequence number -- never heap internals or name ordering."""
+        engine = EventEngine(trace=True)
+        fired = []
+        names = ["z", "a", "m", "z", "a", "0", "~", " "]
+        for name in names:
+            engine.at(0.5, lambda n=name: fired.append(n), name=name)
+        engine.run()
+        assert fired == names  # schedule order, not sorted order
+        assert [n for _, _, n in engine.trace.as_tuples()] == names
+        seqs = [s for _, s, _ in engine.trace.as_tuples()]
+        assert seqs == sorted(seqs)
+
+    def test_event_scheduled_during_fire_at_same_instant_runs_last(self):
+        engine = EventEngine()
+        fired = []
+        engine.at(0.1, lambda: (fired.append("first"),
+                                engine.at(0.1, lambda: fired.append("nested"))))
+        engine.at(0.1, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["first", "second", "nested"]
+
+    def test_cancelled_event_skipped(self):
+        engine = EventEngine()
+        fired = []
+        keep = engine.at(0.2, lambda: fired.append("keep"))
+        drop = engine.at(0.1, lambda: fired.append("drop"))
+        drop.cancel()
+        engine.run()
+        assert fired == ["keep"]
+        assert keep.time == 0.2
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = EventEngine()
+        engine.at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError, match="before now"):
+            engine.at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.after(-0.1, lambda: None)
+
+    def test_run_until_stops_at_horizon(self):
+        engine = EventEngine()
+        fired = []
+        engine.at(0.1, lambda: fired.append(1))
+        engine.at(5.0, lambda: fired.append(2))
+        engine.run(until=1.0)
+        assert fired == [1]
+        assert engine.now == 1.0
+        assert engine.pending == 1
+
+    def test_max_events_backstop(self):
+        engine = EventEngine()
+
+        def rearm():
+            engine.after(0.0, rearm)
+
+        engine.after(0.0, rearm)
+        with pytest.raises(RuntimeError, match="runaway"):
+            engine.run(max_events=100)
+
+
+class TestClockView:
+    def test_engine_adopts_and_binds_clock(self):
+        clock = SimClock()
+        engine = EventEngine(clock=clock)
+        assert engine.clock is clock
+        assert clock.engine is engine
+        engine.at(0.25, lambda: None)
+        engine.run()
+        assert clock.now == 0.25
+
+    def test_fresh_engine_creates_bound_clock(self):
+        engine = EventEngine()
+        assert engine.clock.engine is engine
+        assert SimClock().engine is None
+
+
+class TestProcesses:
+    def test_timer_yields_advance_time(self):
+        engine = EventEngine()
+        log = []
+
+        def proc():
+            log.append(("start", engine.now))
+            yield 0.5
+            log.append(("mid", engine.now))
+            yield Timer(0.25)
+            log.append(("end", engine.now))
+
+        process = engine.spawn(proc(), name="p")
+        engine.run()
+        assert process.done
+        assert log == [("start", 0.0), ("mid", 0.5), ("end", 0.75)]
+
+    def test_process_return_value_and_termination_signal(self):
+        engine = EventEngine()
+        seen = []
+
+        def worker():
+            yield 0.1
+            return 42
+
+        def watcher(target):
+            value = yield target.terminated
+            seen.append(value)
+
+        process = engine.spawn(worker(), name="w")
+        engine.spawn(watcher(process), name="watch")
+        engine.run()
+        assert process.result == 42
+        assert seen == [42]
+
+    def test_signal_wakes_waiters_in_wait_order(self):
+        engine = EventEngine()
+        signal = engine.signal("go")
+        woken = []
+
+        def waiter(tag):
+            value = yield signal
+            woken.append((tag, value))
+
+        for tag in ("b", "a", "c"):
+            engine.spawn(waiter(tag), name=f"wait-{tag}")
+        engine.after(0.2, lambda: signal.fire("payload"))
+        engine.run()
+        assert woken == [("b", "payload"), ("a", "payload"), ("c", "payload")]
+
+    def test_signal_fire_without_waiters_is_noop(self):
+        engine = EventEngine()
+        signal = engine.signal("lonely")
+        assert signal.fire("lost") == 0
+        engine.run()
+        assert signal.fires == 1
+
+    def test_resource_serializes_fifo(self):
+        engine = EventEngine()
+        resource = engine.resource(capacity=1, name="stack")
+        order = []
+
+        def user(tag, hold):
+            grant = resource.request()
+            yield grant
+            order.append((tag, engine.now))
+            yield hold
+            resource.release()
+
+        engine.spawn(user("a", 0.3), name="a")
+        engine.spawn(user("b", 0.1), name="b")
+        engine.spawn(user("c", 0.1), name="c")
+        engine.run()
+        tags = [t for t, _ in order]
+        starts = [s for _, s in order]
+        assert tags == ["a", "b", "c"]  # strictly first-come-first-served
+        assert starts == [0.0, 0.3, 0.4]
+
+    def test_release_of_idle_resource_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(RuntimeError, match="idle resource"):
+            engine.resource(name="r").release()
+
+    def test_bad_yield_type_rejected(self):
+        engine = EventEngine()
+
+        def bad():
+            yield "soon"
+
+        engine.spawn(bad(), name="bad")
+        with pytest.raises(TypeError, match="yielded"):
+            engine.run()
+
+    def test_negative_timer_rejected(self):
+        with pytest.raises(ValueError):
+            Timer(-1.0)
+
+    def test_until_is_bit_exact(self):
+        """The local-lookahead catch-up: ``now + (t - now)`` need not
+        equal ``t`` in floating point (0.1 + (0.41 - 0.1) misses 0.41 by
+        an ulp), so a delay-based catch-up drifts once per request.
+        Until lands on the absolute target exactly."""
+        engine = EventEngine()
+        landed = []
+
+        def proc():
+            yield 0.1
+            yield Until(0.41)
+            landed.append(engine.now)
+
+        engine.spawn(proc(), name="p")
+        engine.run()
+        assert 0.1 + (0.41 - 0.1) != 0.41  # the hazard being guarded
+        assert landed == [0.41]
+
+    def test_until_in_the_past_resumes_immediately(self):
+        engine = EventEngine()
+        landed = []
+
+        def proc():
+            yield 0.5
+            yield Until(0.2)  # already past: no time travel, no stall
+            landed.append(engine.now)
+
+        engine.spawn(proc(), name="p")
+        engine.run()
+        assert landed == [0.5]
+
+
+class TestDeterminism:
+    @staticmethod
+    def _chaotic_run(seed_order):
+        """Many processes racing timers and signals at coinciding times."""
+        engine = EventEngine(trace=True)
+        signal = engine.signal("shared")
+        log = []
+
+        def ticker(tag, period):
+            for _ in range(4):
+                yield period
+                log.append((tag, engine.now))
+                signal.fire(tag)
+
+        def listener(tag):
+            for _ in range(3):
+                value = yield signal
+                log.append((tag, value, engine.now))
+
+        for tag, period in seed_order:
+            engine.spawn(ticker(tag, period), name=f"tick-{tag}")
+        engine.spawn(listener("L1"), name="L1")
+        engine.spawn(listener("L2"), name="L2")
+        engine.run()
+        return log, engine.trace.as_tuples()
+
+    def test_identical_trace_across_runs(self):
+        order = [("x", 0.25), ("y", 0.5), ("z", 0.25)]
+        log1, trace1 = self._chaotic_run(order)
+        log2, trace2 = self._chaotic_run(order)
+        assert log1 == log2
+        assert trace1 == trace2
+        # Coinciding timestamps actually occurred (x and z tick together),
+        # so the equality above exercised the tie-break.
+        times = [t for t, _, _ in trace1]
+        assert len(times) != len(set(times))
+
+
+class TestIntervalRecorder:
+    def test_union_merges_overlaps(self):
+        rec = IntervalRecorder()
+        rec.note("busy", "d0", 0.0, 1.0)
+        rec.note("busy", "d0", 0.5, 2.0)
+        rec.note("busy", "d0", 3.0, 4.0)
+        assert rec.merged("busy", "d0") == [(0.0, 2.0), (3.0, 4.0)]
+        assert rec.total("busy", "d0") == pytest.approx(3.0)
+
+    def test_union_across_keys(self):
+        rec = IntervalRecorder()
+        rec.note("busy", "d0", 0.0, 1.0)
+        rec.note("busy", "d1", 0.5, 1.5)
+        assert rec.merged("busy") == [(0.0, 1.5)]
+        assert rec.keys("busy") == ["d0", "d1"]
+
+    def test_overlap_is_intersection_measure(self):
+        rec = IntervalRecorder()
+        rec.note("think", "h0", 0.0, 1.0)
+        rec.note("service", "d0", 0.5, 2.0)
+        assert rec.overlap("think", "service") == pytest.approx(0.5)
+        assert rec.overlap("service", "think") == pytest.approx(0.5)
+
+    def test_per_key_overlap_counts_each_host(self):
+        rec = IntervalRecorder()
+        # Two hosts thinking through the same busy second: both hid work.
+        rec.note("think", "h0", 0.0, 1.0)
+        rec.note("think", "h1", 0.0, 1.0)
+        rec.note("service", "d0", 0.0, 1.0)
+        assert rec.overlap("think", "service") == pytest.approx(1.0)
+        assert rec.per_key_overlap("think", "service") == pytest.approx(2.0)
+
+    def test_zero_length_skipped_and_backwards_rejected(self):
+        rec = IntervalRecorder()
+        rec.note("busy", "d0", 1.0, 1.0)
+        assert rec.merged("busy", "d0") == []
+        with pytest.raises(ValueError, match="ends before"):
+            rec.note("busy", "d0", 2.0, 1.0)
