@@ -18,11 +18,20 @@ block pays for (Section 4.2's per-write free-space query):
 
 Wall-clock numbers are useless across machines, so every metric is also
 recorded *normalized*: divided by the throughput of a fixed pure-Python
-calibration loop run in the same process.  The committed baseline
+calibration loop re-measured immediately before that metric (a single
+up-front calibration lets scheduler noise later in the run skew the
+ratios; an adjacent one sees the same machine the metric saw).  The
+committed baseline
 (``benchmarks/BENCH_hotpath.json``) stores the normalized scores; CI
 re-runs the suite and fails when any normalized score regresses by more
-than the tolerance (25 %), or when the bitmap-vs-reference speedup falls
-below the 3x floor this PR establishes.
+than the tolerance (25 %), when the bitmap-vs-reference speedup falls
+below its 3x floor, or when a metric drops below one of the *absolute*
+normalized floors that lock in the batch-mechanics speedups (>=2x
+``allocator_throughput`` and ``compactor_pass``, >=3x ``satf_pick_next``
+over the pre-batching schema-2 baseline).  ``--check`` also surfaces
+interpreter drift: the baseline records the CPython it was measured on,
+and a mismatch with the running interpreter is reported (normalization
+absorbs most of the skew, so it warns rather than fails).
 
 Usage::
 
@@ -41,6 +50,7 @@ import argparse
 import json
 import platform
 import random
+import statistics
 import sys
 import time
 from typing import Callable, Dict
@@ -53,7 +63,9 @@ from repro.vlog.allocator import AllocationPolicy, EagerAllocator
 from repro.vlog.vld import VirtualLogDisk
 
 #: Bump when the metric set or workload shapes change incompatibly.
-SCHEMA = 2
+#: 3: baseline re-recorded from the CI perf interpreter (CPython 3.12)
+#: after the batch-mechanics rework; absolute floors added.
+SCHEMA = 3
 
 #: Metrics the regression gate compares (all normalized ops/sec,
 #: higher is better).
@@ -68,6 +80,23 @@ GATED_METRICS = (
 #: Minimum bitmap-vs-reference speedup on the free-run query (the PR's
 #: acceptance floor).
 SPEEDUP_FLOOR = 3.0
+
+#: Absolute normalized floors locking in the batch-mechanics speedups.
+#: The pre-batching (schema-2) code, re-measured on the CI perf
+#: interpreter (CPython 3.12) under this file's per-metric
+#: normalization, scores allocator_throughput 0.00192, compactor_pass
+#: 0.00034, and satf_pick_next 0.00322; the batch pricing rework must
+#: hold >=2x on the first two and >=3x on the third, on any machine
+#: (the scores are calibration-normalized, so the floors travel).
+#: Re-measured on the old code rather than read from the old committed
+#: baseline because that baseline was recorded on CPython 3.11, whose
+#: calibration-loop-to-workload ratio differs enough to skew a
+#: cross-interpreter comparison -- the drift ``--check`` now warns on.
+ABSOLUTE_FLOORS = {
+    "allocator_throughput": 2.0 * 0.00192,
+    "compactor_pass": 2.0 * 0.00034,
+    "satf_pick_next": 3.0 * 0.00322,
+}
 
 
 def _best_of(repeats: int, fn: Callable[[], float]) -> float:
@@ -106,7 +135,7 @@ def _fragmented_map(map_cls, utilization: float = 0.75, seed: int = 0xF5EE):
 
 
 def bench_free_run_query(
-    map_cls=FreeSpaceMap, queries: int = 4000, repeats: int = 3
+    map_cls=FreeSpaceMap, queries: int = 4000, repeats: int = 5
 ) -> float:
     """ops/sec of ``nearest_free_run`` (count=8, align=8 -- the VLD's
     4 KB-block query) over random tracks and fractional arrival slots."""
@@ -135,7 +164,7 @@ def bench_free_run_query(
     return _best_of(repeats, once)
 
 
-def bench_mark_roundtrip(rounds: int = 4000, repeats: int = 3) -> float:
+def bench_mark_roundtrip(rounds: int = 4000, repeats: int = 5) -> float:
     """ops/sec of mark_used+mark_free pairs on 8-sector runs."""
     geometry = DiskGeometry(ST19101)
     freemap = FreeSpaceMap(geometry)
@@ -155,7 +184,7 @@ def bench_mark_roundtrip(rounds: int = 4000, repeats: int = 3) -> float:
     return _best_of(repeats, once)
 
 
-def bench_allocator_throughput(cycles: int = 3000, repeats: int = 3) -> float:
+def bench_allocator_throughput(cycles: int = 3000, repeats: int = 5) -> float:
     """ops/sec of allocate+free cycles through the TRACK_FILL eager
     allocator at ~70 % standing utilization."""
     disk = Disk(ST19101, store_data=False)
@@ -179,7 +208,7 @@ def bench_allocator_throughput(cycles: int = 3000, repeats: int = 3) -> float:
     return _best_of(repeats, once)
 
 
-def bench_compactor_pass(repeats: int = 2) -> float:
+def bench_compactor_pass(repeats: int = 3) -> float:
     """Blocks moved per wall-second compacting a freshly fragmented VLD."""
 
     def once() -> float:
@@ -204,7 +233,7 @@ def bench_compactor_pass(repeats: int = 2) -> float:
 
 
 def bench_satf_pick_next(
-    depth: int = 16, picks: int = 4000, repeats: int = 3
+    depth: int = 16, picks: int = 4000, repeats: int = 5
 ) -> float:
     """ops/sec of ``SATFPolicy.pick`` over a ``depth``-deep queue of
     random pending requests (prices every candidate with the mechanics
@@ -241,25 +270,35 @@ def bench_satf_pick_next(
 
 
 def run_suite() -> Dict:
-    """Run every metric; returns the BENCH_hotpath.json payload."""
-    calibration = calibration_ops_per_sec()
-    raw = {
-        "free_run_query": bench_free_run_query(FreeSpaceMap),
-        "free_run_query_reference": bench_free_run_query(
-            ReferenceFreeSpaceMap, queries=400
-        ),
-        "mark_roundtrip": bench_mark_roundtrip(),
-        "allocator_throughput": bench_allocator_throughput(),
-        "compactor_pass": bench_compactor_pass(),
-        "satf_pick_next": bench_satf_pick_next(),
-    }
+    """Run every metric; returns the BENCH_hotpath.json payload.
+
+    The calibration loop runs again right before each metric and that
+    *local* reading is what the metric is normalized by; the payload's
+    ``calibration_ops_per_sec`` records the fastest reading (the
+    machine's clean speed)."""
+    benches = (
+        ("free_run_query", lambda: bench_free_run_query(FreeSpaceMap)),
+        ("mark_roundtrip", bench_mark_roundtrip),
+        ("allocator_throughput", bench_allocator_throughput),
+        ("compactor_pass", bench_compactor_pass),
+        ("satf_pick_next", bench_satf_pick_next),
+    )
+    raw: Dict[str, float] = {}
+    normalized: Dict[str, float] = {}
+    calibrations = []
+    for name, bench in benches:
+        local = calibration_ops_per_sec()
+        calibrations.append(local)
+        raw[name] = bench()
+        normalized[name] = raw[name] / local
+    raw["free_run_query_reference"] = bench_free_run_query(
+        ReferenceFreeSpaceMap, queries=400
+    )
     return {
         "schema": SCHEMA,
-        "calibration_ops_per_sec": calibration,
+        "calibration_ops_per_sec": max(calibrations),
         "raw_ops_per_sec": raw,
-        "normalized": {
-            name: raw[name] / calibration for name in GATED_METRICS
-        },
+        "normalized": normalized,
         "speedup": {
             "free_run_query": raw["free_run_query"]
             / raw["free_run_query_reference"]
@@ -270,6 +309,54 @@ def run_suite() -> Dict:
             "machine": platform.machine(),
         },
     }
+
+
+def run_suite_median(runs: int) -> Dict:
+    """Per-metric median over ``runs`` suite passes.
+
+    One pass can mix a lucky reading on one metric with an unlucky one
+    on another; a committed baseline built from such a pass makes the
+    relative gate flaky in both directions.  Medians keep every metric
+    at its typical value (this is how ``BENCH_hotpath.json`` is
+    recorded: ``--runs 5``)."""
+    if runs <= 1:
+        return run_suite()
+    results = [run_suite() for _ in range(runs)]
+    merged = results[0]
+    for section in ("normalized", "raw_ops_per_sec", "speedup"):
+        for key in merged[section]:
+            merged[section][key] = statistics.median(
+                r[section][key] for r in results
+            )
+    merged["calibration_ops_per_sec"] = statistics.median(
+        r["calibration_ops_per_sec"] for r in results
+    )
+    return merged
+
+
+def environment_warnings(result: Dict, baseline: Dict) -> list:
+    """Non-fatal drift between the baseline's environment and ours --
+    most importantly the interpreter the baseline was recorded on (the
+    schema-2 baseline was committed from CPython 3.11.7 while CI ran
+    3.10/3.12, and nothing said so)."""
+    warnings = []
+    base_env = baseline.get("environment", {})
+    env = result["environment"]
+    for field, label in (
+        ("python", "interpreter"),
+        ("implementation", "implementation"),
+    ):
+        recorded = base_env.get(field)
+        if recorded is None:
+            warnings.append(f"baseline does not record its {label}")
+        elif recorded != env[field]:
+            warnings.append(
+                f"{label} drift: baseline was recorded on {recorded}, "
+                f"this run is {env[field]} -- normalized scores absorb "
+                "most of the skew, but re-record the baseline from the "
+                "CI interpreter if the gap persists"
+            )
+    return warnings
 
 
 def compare_to_baseline(
@@ -283,6 +370,14 @@ def compare_to_baseline(
             f"current {result['schema']} -- re-record the baseline"
         )
         return failures
+    for name, floor in ABSOLUTE_FLOORS.items():
+        current = result["normalized"][name]
+        if current < floor:
+            failures.append(
+                f"{name}: normalized {current:.4f} is below the "
+                f"absolute floor {floor:.4f} locking in the "
+                "batch-mechanics speedup"
+            )
     for name in GATED_METRICS:
         base = baseline["normalized"].get(name)
         if base is None:
@@ -339,9 +434,16 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed fractional regression per normalized metric",
     )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="suite passes to take the per-metric median over (use >1 "
+        "when recording a committed baseline)",
+    )
     args = parser.parse_args(argv)
 
-    result = run_suite()
+    result = run_suite_median(args.runs)
     _print_report(result)
     with open(args.json, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
@@ -351,6 +453,8 @@ def main(argv=None) -> int:
     if args.check:
         with open(args.check) as fh:
             baseline = json.load(fh)
+        for warning in environment_warnings(result, baseline):
+            print(f"PERF WARNING: {warning}", file=sys.stderr)
         failures = compare_to_baseline(result, baseline, args.tolerance)
         if failures:
             for failure in failures:

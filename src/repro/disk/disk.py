@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.disk.batch_mechanics import BatchMechanics
 from repro.disk.cache import ReadAheadPolicy, TrackBuffer
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import DiskMechanics
@@ -64,6 +65,10 @@ class Disk:
         self.clock = clock if clock is not None else SimClock()
         self.geometry = DiskGeometry(spec, num_cylinders)
         self.mechanics = DiskMechanics(spec)
+        #: Table-driven batch pricing over the same spec/geometry; the
+        #: eager allocator, SATF, and the compactor price candidate sets
+        #: through this, and the service path below shares its tables.
+        self.batch = BatchMechanics(spec, self.geometry)
         self.cache = TrackBuffer(readahead)
         self.head_cylinder = 0
         self.head_head = 0
@@ -302,7 +307,8 @@ class Disk:
     ) -> None:
         """Move the arm, wait for rotation, and transfer ``count`` sectors."""
         cylinder, head, sect = self.geometry.decompose(sector)
-        positioning = self.mechanics.positioning_time(
+        batch = self.batch
+        positioning = batch.positioning_time(
             self.head_cylinder, self.head_head, cylinder, head
         )
         if positioning > 0.0:
@@ -310,7 +316,7 @@ class Disk:
             self.clock.advance(positioning)
         self.head_cylinder = cylinder
         self.head_head = head
-        target_slot = self.geometry.angle_of(cylinder, head, sect)
+        target_slot = batch.angle_of(cylinder, head, sect)
         rotational = self.mechanics.wait_for_slot(self.clock.now, target_slot)
         if rotational > 0.0:
             breakdown.charge("locate", rotational)

@@ -105,6 +105,10 @@ class FreeSpaceMap:
         #: One bitmask per track; bit ``s`` set == sector-in-track ``s`` free.
         self._masks: List[int] = [self._track_full_mask] * n_tracks
         self._track_free: List[int] = [n] * n_tracks
+        #: How many tracks are completely free -- lets the track-fill
+        #: allocator's empty-track scan answer "none" in O(1), which is
+        #: the steady state at realistic utilizations.
+        self._empty_tracks = n_tracks
         # Geometry is immutable, so the per-track skew and first-sector
         # tables can be burned in once; ``nearest_free_run`` is hot enough
         # that recomputing them per query shows up in profiles.
@@ -114,6 +118,17 @@ class FreeSpaceMap:
             for idx in range(n_tracks)
         ]
         self._bases: List[int] = [idx * n for idx in range(n_tracks)]
+        #: Per-track memo of the last angle-space run-starts mask:
+        #: ``(source_mask, count, align, rotated_starts)``.  An entry is
+        #: valid only while the track's occupancy mask still equals the
+        #: stored source (checked by value, so no invalidation hooks and
+        #: no way to go stale); allocator sweeps re-probe mostly
+        #: unchanged tracks with one (count, align) shape, so the
+        #: fold/align/rotate pipeline usually short-circuits to a
+        #: big-int compare.
+        self._run_memo: List[Optional[Tuple[int, int, int, int]]] = (
+            [None] * n_tracks
+        )
         self._cyl_free: List[int] = [
             geometry.sectors_per_cylinder
         ] * geometry.num_cylinders
@@ -164,6 +179,29 @@ class FreeSpaceMap:
         n = self._n
         tracks_per_cyl = self.geometry.tracks_per_cylinder
         quarantined = self._quarantined
+        track, offset = divmod(sector, n)
+        if offset + count <= n:
+            # Single-track fast path: the allocator's unit never straddles
+            # a track, so nearly every mark lands here.
+            segment = ((1 << count) - 1) << offset
+            if free and quarantined is not None:
+                segment &= ~quarantined[track]
+                if segment == 0:
+                    return
+            old = self._masks[track]
+            new = (old | segment) if free else (old & ~segment)
+            if new != old:
+                delta = _popcount(new ^ old)
+                if not free:
+                    delta = -delta
+                self._masks[track] = new
+                before = self._track_free[track]
+                self._track_free[track] = before + delta
+                if (before == n) != (before + delta == n):
+                    self._empty_tracks += 1 if before + delta == n else -1
+                self._cyl_free[track // tracks_per_cyl] += delta
+                self.free_sectors += delta
+            return
         while count > 0:
             track, offset = divmod(sector, n)
             span = min(n - offset, count)
@@ -181,7 +219,10 @@ class FreeSpaceMap:
                 if not free:
                     delta = -delta
                 self._masks[track] = new
-                self._track_free[track] += delta
+                before = self._track_free[track]
+                self._track_free[track] = before + delta
+                if (before == n) != (before + delta == n):
+                    self._empty_tracks += 1 if before + delta == n else -1
                 self._cyl_free[track // tracks_per_cyl] += delta
                 self.free_sectors += delta
             sector += span
@@ -310,24 +351,37 @@ class FreeSpaceMap:
         # Inlined fold / align-filter / rotate / nearest-bit sequence --
         # this method is the simulator's hottest, and in CPython the helper
         # calls cost more than the big-int ops they wrap.
-        mask = self._masks[track_idx]
-        have = 1
-        while have < count and mask:
-            step = have if have < count - have else count - have
-            mask &= mask >> step
-            have += step
-        if align > 1 and mask:
-            amask = _ALIGN_MASKS.get((n, align))
-            if amask is None:
-                amask = _aligned_starts_mask(n, align)
-            mask &= amask
+        source = self._masks[track_idx]
+        skew = self._skews[track_idx]
+        entry = self._run_memo[track_idx]
+        if (
+            entry is not None
+            and entry[0] == source
+            and entry[1] == count
+            and entry[2] == align
+        ):
+            mask = entry[3]
+        else:
+            mask = source
+            have = 1
+            while have < count and mask:
+                step = have if have < count - have else count - have
+                mask &= mask >> step
+                have += step
+            if align > 1 and mask:
+                amask = _ALIGN_MASKS.get((n, align))
+                if amask is None:
+                    amask = _aligned_starts_mask(n, align)
+                mask &= amask
+            # Rotate the start set into angle space; the memo stores the
+            # rotated form so a hit skips the whole pipeline.
+            if skew and mask:
+                mask = (
+                    (mask << skew) | (mask >> (n - skew))
+                ) & self._track_full_mask
+            self._run_memo[track_idx] = (source, count, align, mask)
         if mask == 0:
             return None
-        # Rotate the start set into angle space, then take the first set
-        # bit at or (cyclically) after the head's arrival slot.
-        skew = self._skews[track_idx]
-        if skew:
-            mask = ((mask << skew) | (mask >> (n - skew))) & self._track_full_mask
         slot = start_slot % n
         phase = int(slot)
         if phase != slot:
@@ -394,19 +448,110 @@ class FreeSpaceMap:
         the nearest run *after* the window -- which a query from
         ``start_slot`` would never surface -- is the one that competes.
         """
+        if count <= 0 or align <= 0:
+            raise ValueError("count and align must be positive")
+        self.geometry.check_track(cylinder, 0)
+        n = self._n
+        if count > n:
+            return None
+        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        if self._cyl_free[cylinder] < count:
+            # Track free counts never exceed the cylinder's, so no track
+            # can hold a run either -- skip the whole per-head sweep.
+            return None
+        # Fused per-head sweep: one ``nearest_free_run`` equivalent per
+        # track with the validation, table lookups, and call overhead
+        # hoisted out of the loop.  This is the allocator's hottest call
+        # (every greedy/nearest allocation pays it per candidate
+        # cylinder), and the 16-19 inner calls dominated it.
+        base_idx = cylinder * tracks_per_cyl
+        track_free = self._track_free
+        masks = self._masks
+        skews = self._skews
+        bases = self._bases
+        memo = self._run_memo
+        full = self._track_full_mask
+        amask = _aligned_starts_mask(n, align) if align > 1 else 0
+        # Only two query slots exist across the sweep -- the current
+        # track's and the penalised one every other track shares -- so
+        # the slot -> phase reduction is hoisted out of the head loop.
+        penalised_slot = start_slot + head_switch_slots
+        phases = []
+        for query_slot in (start_slot, penalised_slot):
+            slot = query_slot % n
+            phase = int(slot)
+            if phase != slot:
+                phase += 1
+                if phase == n:
+                    phase = 0
+            phases.append(phase)
+        current_phase, penalised_phase = phases
         best: Optional[Tuple[float, int, int]] = None
-        for head in range(self.geometry.tracks_per_cylinder):
-            penalty = 0.0 if head == current_head else head_switch_slots
-            found = self.nearest_free_run(
-                cylinder, head, start_slot + penalty, count, align
-            )
-            if found is None:
+        best_cost = 0.0
+        for head in range(tracks_per_cyl):
+            track_idx = base_idx + head
+            if track_free[track_idx] < count:
                 continue
-            gap, linear = found
-            cost = penalty + gap
-            if best is None or cost < best[0]:
-                best = (cost, linear, head)
+            source = masks[track_idx]
+            skew = skews[track_idx]
+            entry = memo[track_idx]
+            if (
+                entry is not None
+                and entry[0] == source
+                and entry[1] == count
+                and entry[2] == align
+            ):
+                mask = entry[3]
+            else:
+                mask = source
+                have = 1
+                while have < count and mask:
+                    step = have if have < count - have else count - have
+                    mask &= mask >> step
+                    have += step
+                if align > 1 and mask:
+                    mask &= amask
+                if skew and mask:
+                    mask = ((mask << skew) | (mask >> (n - skew))) & full
+                memo[track_idx] = (source, count, align, mask)
+            if mask == 0:
+                continue
+            if head == current_head:
+                penalty = 0.0
+                query_slot = start_slot
+                phase = current_phase
+            else:
+                penalty = head_switch_slots
+                query_slot = penalised_slot
+                phase = penalised_phase
+            ahead = mask >> phase
+            if ahead:
+                angle = phase + ((ahead & -ahead).bit_length() - 1)
+            else:
+                angle = (mask & -mask).bit_length() - 1
+            cost = penalty + ((angle - query_slot) % n)
+            if best is None or cost < best_cost:
+                sect = angle - skew
+                if sect < 0:
+                    sect += n
+                best = (cost, bases[track_idx] + sect, head)
+                best_cost = cost
         return best
+
+    def partial_tracks(self, minimum_free: int) -> List[Tuple[int, int]]:
+        """``(cylinder, head)`` of every *partially used* track holding at
+        least ``minimum_free`` free sectors (``minimum_free <= free <
+        sectors_per_track``), in track order -- the compactor's
+        hole-plugging candidate set, answered from the counters alone."""
+        if minimum_free <= 0:
+            raise ValueError("minimum_free must be positive")
+        n = self._n
+        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        return [
+            divmod(idx, tracks_per_cyl)
+            for idx, free in enumerate(self._track_free)
+            if minimum_free <= free < n
+        ]
 
     # ------------------------------------------------------------------
     # Track scans (compactor / reorganizer helpers)
@@ -446,6 +591,8 @@ class FreeSpaceMap:
         """Nearest completely empty track, sweeping cylinders upward from
         ``start_cylinder`` (wrapping) -- the track-fill allocator's scan,
         answered from the counters alone."""
+        if self._empty_tracks == 0:
+            return None
         geometry = self.geometry
         per_track = self._n
         total = geometry.num_cylinders
@@ -682,3 +829,14 @@ class ReferenceFreeSpaceMap:
         ]
         ranked.sort(key=lambda item: (-item[0], item[1], item[2]))
         return ranked
+
+    def partial_tracks(self, minimum_free: int) -> List[Tuple[int, int]]:
+        if minimum_free <= 0:
+            raise ValueError("minimum_free must be positive")
+        n = self.geometry.sectors_per_track
+        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        return [
+            divmod(idx, tracks_per_cyl)
+            for idx, free in enumerate(self._track_free)
+            if minimum_free <= free < n
+        ]

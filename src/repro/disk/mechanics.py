@@ -7,6 +7,8 @@ can compute rotational waits closed-form instead of stepping an event queue.
 
 from __future__ import annotations
 
+import math
+
 from repro.disk.specs import DiskSpec
 
 
@@ -24,10 +26,31 @@ class DiskMechanics:
 
         The integer part is the slot currently under the head; the fraction
         is progress through that slot.
+
+        Float-boundary normalization: when ``now`` is mathematically a
+        multiple of the rotation time, the float that reaches us is often
+        a hair *above* it (``k * rotation_time`` rounds up by as much as
+        half an ulp, and a sum of service times can land a further ulp
+        past the boundary).  The remainder is then pure rounding noise --
+        comparable to the spacing of floats at magnitude ``now`` -- but
+        without normalization it reads as "a hair past slot 0", and
+        :meth:`wait_for_slot` would charge a spurious (near-)full
+        revolution for attoseconds of simulated time.  Remainders at or
+        below ``2 * ulp(now)`` (covering the worst case of one rounding
+        plus one neighbouring float, ~1e-15 of a sector time) therefore
+        snap to the boundary (slot 0.0).  The ``frac >= 1.0`` guard
+        restores the documented ``[0, n)`` range in the opposite corner,
+        where ``rem / rotation_time`` rounds up to exactly 1.0.
         """
         if now < 0.0:
             raise ValueError("time must be non-negative")
-        frac = (now % self.rotation_time) / self.rotation_time
+        rotation = self.rotation_time
+        rem = now % rotation
+        if rem <= 0.0 or rem <= 2.0 * math.ulp(now):
+            return 0.0
+        frac = rem / rotation
+        if frac >= 1.0:
+            return 0.0
         return frac * self.sectors_per_track
 
     def wait_for_slot(self, now: float, target_slot: int) -> float:

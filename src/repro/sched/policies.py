@@ -80,32 +80,68 @@ class SATFPolicy(SchedulingPolicy):
     The predicted cost mirrors ``Disk._position_and_transfer`` exactly:
     command overhead (when the request is host-issued), positioning as
     ``max(seek, head switch)``, then the rotational wait measured from
-    the post-positioning instant.  Requests spanning several tracks are
-    priced on their first track -- an estimate, but the error is the same
-    for every candidate with the same first sector.
+    the post-positioning instant *in service order* -- the clock advances
+    by the SCSI overhead first, then by positioning, so the wait is
+    priced at ``(now + scsi) + positioning``, not ``now + (scsi +
+    positioning)`` (the two differ by an ulp often enough for the
+    predicted cost to drift from the charged one).  Requests spanning
+    several tracks are priced on their first track -- an estimate, but
+    the error is the same for every candidate with the same first sector.
+
+    The queue is priced in one ``BatchMechanics.price_candidates`` pass;
+    :meth:`predicted_cost` keeps the one-request scalar composition as
+    the oracle the property tests pin the batch path (and the disk's
+    actual charges) against.
     """
 
     name = "satf"
 
     def pick(self, pending, disk):
+        if len(pending) == 1:
+            return pending[0]
+        scsi = disk.spec.scsi_overhead
+        sectors = []
+        leads = None
+        for i, req in enumerate(pending):
+            sectors.append(req.sector)
+            if req.charge_scsi:
+                if leads is None:
+                    leads = [0.0] * len(pending)
+                leads[i] = scsi
+        costs = disk.batch.price_candidates(
+            disk.clock.now,
+            disk.head_cylinder,
+            disk.head_head,
+            sectors,
+            extra_lead=leads,
+        )
+        cheapest = min(costs)
+        first = costs.index(cheapest)
+        if cheapest not in costs[first + 1:]:
+            return pending[first]
+        # Cost tie: resolve by submission order (lowest seq), exactly as
+        # a (cost, seq) scan would.
+        best = None
+        for req, cost in zip(pending, costs):
+            if cost == cheapest and (best is None or req.seq < best.seq):
+                best = req
+        return best
+
+    def predicted_cost(self, req, disk) -> float:
+        """Scalar oracle: the access time ``pick`` attributes to ``req``,
+        composed from the one-at-a-time mechanics calls in the exact
+        order ``Disk._position_and_transfer`` will charge them."""
         mechanics = disk.mechanics
         geometry = disk.geometry
         now = disk.clock.now
-        scsi = disk.spec.scsi_overhead
-        best = None
-        for req in pending:
-            cylinder, head, sect = geometry.decompose(req.sector)
-            lead = (scsi if req.charge_scsi else 0.0) + (
-                mechanics.positioning_time(
-                    disk.head_cylinder, disk.head_head, cylinder, head
-                )
-            )
-            target = geometry.angle_of(cylinder, head, sect)
-            cost = lead + mechanics.wait_for_slot(now + lead, target)
-            key = (cost, req.seq)
-            if best is None or key < best[0]:
-                best = (key, req)
-        return best[1]
+        extra = disk.spec.scsi_overhead if req.charge_scsi else 0.0
+        cylinder, head, sect = geometry.decompose(req.sector)
+        positioning = mechanics.positioning_time(
+            disk.head_cylinder, disk.head_head, cylinder, head
+        )
+        target = geometry.angle_of(cylinder, head, sect)
+        wait = mechanics.wait_for_slot((now + extra) + positioning, target)
+        return (extra + positioning) + wait
 
 
 POLICIES = {

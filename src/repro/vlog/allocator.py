@@ -144,23 +144,24 @@ class EagerAllocator:
     def _choose_nearest(self) -> Optional[int]:
         """Globally cheapest run: scan cylinders outward, pruning by seek."""
         disk = self.disk
-        geometry = disk.geometry
-        mechanics = disk.mechanics
-        sector_time = mechanics.sector_time
+        batch = disk.batch
+        now = disk.clock.now
+        seeks = batch.seek_by_distance
+        sector_time = batch.sector_time
         switch_slots = disk.spec.head_switch_time / sector_time
         best_cost: Optional[float] = None
         best_sector: Optional[int] = None
         for cylinder, distance in self._cylinders_by_distance():
             if best_cost is not None and self._seek_floor_at(distance) >= best_cost:
                 break  # no remaining distance can even out-seek the incumbent
-            seek = mechanics.seek_time(disk.head_cylinder, cylinder)
+            seek = seeks[distance]
             if not self.freemap.cylinder_has_run(
                 cylinder, self.block_sectors, self.block_sectors
             ):
                 # Batch pre-check on the bitmap: enough free sectors *and*
                 # at least one aligned run, without pricing every track.
                 continue
-            arrival_slot = disk.slot_after(seek)
+            arrival_slot = batch.rotational_slot(now + seek)
             found = self.freemap.nearest_free_in_cylinder(
                 cylinder,
                 disk.head_head,
@@ -214,12 +215,14 @@ class EagerAllocator:
     def _choose_greedy(self) -> Optional[int]:
         """Current cylinder first, then a one-direction cylinder sweep."""
         disk = self.disk
-        sector_time = disk.mechanics.sector_time
+        batch = disk.batch
+        now = disk.clock.now
+        sector_time = batch.sector_time
         switch_slots = disk.spec.head_switch_time / sector_time
         found = self.freemap.nearest_free_in_cylinder(
             disk.head_cylinder,
             disk.head_head,
-            disk.slot_after(0.0),
+            batch.rotational_slot(now + 0.0),
             self.block_sectors,
             align=self.block_sectors,
             head_switch_slots=switch_slots,
@@ -227,29 +230,32 @@ class EagerAllocator:
         if found is not None:
             return found[1]
         # Sweep in one direction, wrapping (Section 4.2's anti-trap rule).
+        seeks = batch.seek_by_distance
+        here = disk.head_cylinder
         total = disk.geometry.num_cylinders
-        if self._sweep_cylinder == disk.head_cylinder:
-            self._sweep_cylinder = (disk.head_cylinder + 1) % total
+        if self._sweep_cylinder == here:
+            self._sweep_cylinder = (here + 1) % total
         cursor = self._sweep_cylinder
         for _ in range(total):
-            if self.freemap.cylinder_has_run(
-                cursor, self.block_sectors, self.block_sectors
-            ):
-                seek = disk.mechanics.seek_time(disk.head_cylinder, cursor)
-                arrival = disk.slot_after(seek)
-                found = self.freemap.nearest_free_in_cylinder(
-                    cursor,
-                    disk.head_head,
-                    arrival,
-                    self.block_sectors,
-                    align=self.block_sectors,
-                    head_switch_slots=max(
-                        0.0, switch_slots - seek / sector_time
-                    ),
-                )
-                if found is not None:
-                    self._sweep_cylinder = cursor
-                    return found[1]
+            # No existence pre-check: ``nearest_free_in_cylinder`` skips
+            # a cylinder without a run from the counters alone, so a
+            # ``cylinder_has_run`` probe here would just fold every track
+            # twice.  Same cylinders succeed either way.
+            seek = seeks[cursor - here if cursor >= here else here - cursor]
+            arrival = batch.rotational_slot(now + seek)
+            found = self.freemap.nearest_free_in_cylinder(
+                cursor,
+                disk.head_head,
+                arrival,
+                self.block_sectors,
+                align=self.block_sectors,
+                head_switch_slots=max(
+                    0.0, switch_slots - seek / sector_time
+                ),
+            )
+            if found is not None:
+                self._sweep_cylinder = cursor
+                return found[1]
             cursor = (cursor + 1) % total
         return None
 
@@ -268,10 +274,9 @@ class EagerAllocator:
             return self._choose_greedy()
         cylinder, head = track
         disk = self.disk
-        seek = disk.mechanics.positioning_time(
-            disk.head_cylinder, disk.head_head, cylinder, head
+        _seek, arrival = disk.batch.position_and_arrival(
+            disk.clock.now, disk.head_cylinder, disk.head_head, cylinder, head
         )
-        arrival = disk.slot_after(seek)
         found = self.freemap.nearest_free_run(
             cylinder, head, arrival, self.block_sectors, align=self.block_sectors
         )

@@ -178,33 +178,45 @@ class FreeSpaceCompactor:
 
     def _find_hole(self, source_track: Tuple[int, int]) -> Optional[int]:
         """Nearest free block on a *partially used* track other than the
-        source (classic hole-plugging: never consume empty tracks)."""
+        source (classic hole-plugging: never consume empty tracks).
+
+        The candidate tracks come straight from the free map's counters
+        and are priced in one ``BatchMechanics.price_track_arrivals``
+        pass; the run query then only visits tracks that can actually
+        hold a block (same answers, same tie-breaks as the old
+        every-track scalar scan).
+        """
         vld = self.vld
-        geometry = vld.disk.geometry
         disk = vld.disk
         spb = vld.sectors_per_block
-        per_track = geometry.sectors_per_track
+        freemap = vld.freemap
+        tracks = [
+            track
+            for track in freemap.partial_tracks(spb)
+            if track != source_track
+        ]
+        if not tracks:
+            return None
+        arrivals = disk.batch.price_track_arrivals(
+            disk.clock.now, disk.head_cylinder, disk.head_head, tracks
+        )
+        sector_time = disk.batch.sector_time
         best: Optional[Tuple[float, int]] = None
-        for cylinder in range(geometry.num_cylinders):
-            for head in range(geometry.tracks_per_cylinder):
-                if (cylinder, head) == source_track:
-                    continue
-                free = vld.freemap.track_free_count(cylinder, head)
-                if free < spb or free == per_track:
-                    continue
-                seek = disk.mechanics.positioning_time(
-                    disk.head_cylinder, disk.head_head, cylinder, head
-                )
-                arrival = disk.slot_after(seek)
-                found = vld.freemap.nearest_free_run(
-                    cylinder, head, arrival, spb, align=spb
-                )
-                if found is None:
-                    continue
-                gap_slots, linear = found
-                cost = seek + gap_slots * disk.mechanics.sector_time
-                if best is None or cost < best[0]:
-                    best = (cost, linear // spb)
+        for (cylinder, head), (seek, arrival) in zip(tracks, arrivals):
+            if best is not None and seek >= best[0]:
+                # cost = seek + a non-negative rotational term, so this
+                # track cannot strictly beat the incumbent; skipping it
+                # keeps the first-minimum-wins tie-break intact.
+                continue
+            found = freemap.nearest_free_run(
+                cylinder, head, arrival, spb, align=spb
+            )
+            if found is None:
+                continue
+            gap_slots, linear = found
+            cost = seek + gap_slots * sector_time
+            if best is None or cost < best[0]:
+                best = (cost, linear // spb)
         return None if best is None else best[1]
 
     def _commit_moves(self, touched_chunks: Dict[int, List[int]]) -> None:

@@ -33,13 +33,24 @@ class ChecksumStore:
         return len(self._crcs)
 
     def record(self, sector: int, data: bytes) -> None:
-        """Recompute checksums for the sectors ``data`` just overwrote."""
+        """Recompute checksums for the sectors ``data`` just overwrote.
+
+        Called from inside every ``Disk.write``, so the common shapes are
+        fast-pathed: a single sector skips the slicing machinery, and
+        multi-sector runs land in one batched dict update instead of one
+        store per sector.
+        """
         sb = self.sector_bytes
+        count = len(data) // sb
+        crc32 = zlib.crc32
+        if count == 1 and len(data) == sb:
+            self._crcs[sector] = crc32(data) & 0xFFFFFFFF
+            return
         view = memoryview(data)
-        for i in range(len(data) // sb):
-            self._crcs[sector + i] = (
-                zlib.crc32(view[i * sb : (i + 1) * sb]) & 0xFFFFFFFF
-            )
+        self._crcs.update(
+            (sector + i, crc32(view[i * sb : (i + 1) * sb]) & 0xFFFFFFFF)
+            for i in range(count)
+        )
 
     def recorded(self, sector: int) -> bool:
         return sector in self._crcs

@@ -1,5 +1,9 @@
+import math
+
 import pytest
 
+from repro.disk.batch_mechanics import BatchMechanics
+from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import DiskMechanics
 from repro.disk.specs import HP97560, ST19101
 
@@ -43,6 +47,78 @@ class TestRotation:
     def test_wait_bad_slot(self, mech):
         with pytest.raises(ValueError):
             mech.wait_for_slot(0.0, 256)
+
+
+class TestRotationBoundaryNormalization:
+    """Regression: times within one ulp of a rotation boundary must read
+    as slot 0, not "a hair past it".
+
+    ``k * rotation_time`` usually rounds to a float one ulp *above* the
+    mathematical boundary; before the fix, the sub-ulp remainder made
+    ``rotational_slot`` report a tiny positive position and
+    ``wait_for_slot(now, 0)`` then charged a (near-)full spurious
+    revolution -- measured at 1.000000 revolutions on the HP97560 -- for
+    half an ulp of simulated time.
+    """
+
+    SPECS = (HP97560, ST19101)
+    MULTIPLES = (1, 2, 3, 7, 1000, 123457)
+
+    def _adversarial_times(self, rotation):
+        for k in self.MULTIPLES:
+            exact = k * rotation
+            yield exact
+            yield math.nextafter(exact, math.inf)   # k*rot*(1 + ulp)
+            yield math.nextafter(exact, 0.0)        # k*rot*(1 - ulp)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_no_spurious_revolution_at_boundaries(self, spec):
+        mech = DiskMechanics(spec)
+        for now in self._adversarial_times(mech.rotation_time):
+            wait = mech.wait_for_slot(now, 0)
+            # At (or within one ulp of) a boundary, the correct wait for
+            # slot 0 is essentially zero; a near-full revolution is the
+            # bug this pins.
+            assert wait < mech.sector_time, (
+                f"{spec.name}: wait_for_slot({now!r}, 0) charged "
+                f"{wait / mech.rotation_time:.6f} revolutions"
+            )
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_one_ulp_above_boundary_snaps_to_slot_zero(self, spec):
+        # ``k * rotation_time`` rounds to within half an ulp of the true
+        # boundary, so one float above it sits at most one ulp past the
+        # boundary: pure rounding noise, and the position must read 0.
+        # (``k * rotation_time`` itself may round *below* the boundary,
+        # where a position just under ``n`` is the correct answer -- the
+        # wait assertion above covers that side.)
+        mech = DiskMechanics(spec)
+        for k in self.MULTIPLES:
+            above = math.nextafter(k * mech.rotation_time, math.inf)
+            assert mech.rotational_slot(above) == 0.0
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_slot_stays_in_range(self, spec):
+        mech = DiskMechanics(spec)
+        n = mech.sectors_per_track
+        for now in self._adversarial_times(mech.rotation_time):
+            assert 0.0 <= mech.rotational_slot(now) < n
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_batch_path_reproduces_fix_bit_for_bit(self, spec):
+        mech = DiskMechanics(spec)
+        batch = BatchMechanics(spec, DiskGeometry(spec))
+        for now in self._adversarial_times(mech.rotation_time):
+            assert batch.rotational_slot(now) == mech.rotational_slot(now)
+
+    def test_ordinary_times_unchanged(self, mech):
+        # The normalization must not disturb positions away from
+        # boundaries: mid-revolution answers are the plain closed form.
+        for now in (0.00123, 0.5 * mech.rotation_time, 1.75 * mech.rotation_time):
+            rem = now % mech.rotation_time
+            if rem > math.ulp(now):
+                expected = (rem / mech.rotation_time) * mech.sectors_per_track
+                assert mech.rotational_slot(now) == expected
 
 
 class TestTransferAndPositioning:
