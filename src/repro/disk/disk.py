@@ -232,13 +232,19 @@ class Disk:
         if charge_scsi:
             breakdown.charge("scsi", self.spec.scsi_overhead)
             self.clock.advance(self.spec.scsi_overhead)
-        remaining = count
-        cursor = sector
-        while remaining > 0:
-            chunk = self._chunk_within_track(cursor, remaining)
-            self._service_write_chunk(cursor, chunk, breakdown)
-            cursor += chunk
-            remaining -= chunk
+        per_track = self.geometry.sectors_per_track
+        if count <= per_track - sector % per_track:
+            # Single-chunk fast path: the request fits on one track, so
+            # the chunk loop degenerates to one positioning pass.
+            self._position_and_transfer(sector, count, breakdown)
+        else:
+            remaining = count
+            cursor = sector
+            while remaining > 0:
+                chunk = self._chunk_within_track(cursor, remaining)
+                self._service_write_chunk(cursor, chunk, breakdown)
+                cursor += chunk
+                remaining -= chunk
         if self._data is not None:
             lo = sector * self.sector_bytes
             payload = (
@@ -246,9 +252,178 @@ class Disk:
             )
             self._data[lo : lo + len(payload)] = payload
             if self.checksums is not None:
-                self.checksums.record(sector, payload)
+                if data is None:
+                    # The payload is the shared zero page: record the
+                    # constant zero-sector CRC without hashing anything.
+                    self.checksums.record_zeros(sector, count)
+                else:
+                    self.checksums.record(sector, payload)
         self.cache.note_write(sector, count)
         self.counters.note_write(count, self.clock.now - start)
+        return breakdown
+
+    def write_run(
+        self,
+        sector: int,
+        count: int,
+        block_sectors: int,
+        data: Optional[bytes] = None,
+        charge_scsi: bool = True,
+        accumulate: Optional[Breakdown] = None,
+    ) -> Breakdown:
+        """Service a physically contiguous run of block-granular writes.
+
+        Bit-identical to issuing ``count // block_sectors`` consecutive
+        ``write(sector + i * block_sectors, block_sectors, ...)`` calls --
+        same clock trajectory, same per-block counter and breakdown
+        arithmetic, same final head/cache/data state -- but with the
+        per-call bookkeeping (Breakdown objects, payload slicing, data
+        splice, checksum recording) batched over the whole run.  This is
+        the media half of the VLD's batched data-movement path.
+
+        ``accumulate``, when given, receives each block's charges as a
+        separate component-wise addition, exactly as a caller folding the
+        per-block breakdowns one at a time would accumulate them.  Float
+        addition is not associative, so callers that split a logical run
+        across several ``write_run`` calls (or mix them with scalar
+        writes) must pass the same accumulator to every call to keep the
+        folded totals bit-identical to the scalar path; the returned
+        breakdown holds this run's own totals.
+
+        With a fault injector installed the per-block oracle path runs
+        instead: hooks must observe every block write at its exact issue
+        time (and may crash between blocks), which is incompatible with
+        deferring the clock/state writes.
+        """
+        if block_sectors <= 0:
+            raise ValueError("block_sectors must be positive")
+        if count % block_sectors != 0:
+            raise ValueError("count must be a whole number of blocks")
+        self._check_run(sector, count)
+        sector_bytes = self.sector_bytes
+        if data is not None and len(data) != count * sector_bytes:
+            raise ValueError(
+                f"data length {len(data)} != {count} sectors "
+                f"({count * sector_bytes} bytes)"
+            )
+        blocks = count // block_sectors
+        per_track = self.geometry.sectors_per_track
+        if (
+            blocks == 1
+            or self.fault_injector is not None
+            or per_track % block_sectors != 0
+            or sector % block_sectors != 0
+        ):
+            # Oracle path: one ordinary write per block (exact scalar
+            # behaviour, including per-block fault hooks and writes that
+            # straddle track boundaries).
+            breakdown = Breakdown()
+            block_bytes = block_sectors * sector_bytes
+            view = memoryview(data) if data is not None else None
+            cursor = sector
+            for i in range(blocks):
+                payload = (
+                    None
+                    if view is None
+                    else view[i * block_bytes : (i + 1) * block_bytes]
+                )
+                piece = self.write(cursor, block_sectors, payload, charge_scsi)
+                breakdown.add(piece)
+                if accumulate is not None:
+                    accumulate.add(piece)
+                cursor += block_sectors
+            return breakdown
+        # Fast path: replay the per-block service arithmetic against a
+        # local clock/head, writing state back once.  Every float op is
+        # kept in scalar order (per-block locate = (pos + rot), per-block
+        # busy-time add), so totals are bit-for-bit what the per-block
+        # loop produces.
+        clock = self.clock
+        geometry = self.geometry
+        batch = self.batch
+        counters = self.counters
+        scsi = self.spec.scsi_overhead if charge_scsi else 0.0
+        tpc = geometry.tracks_per_cylinder
+        seeks = batch.seek_by_distance
+        skews = batch.skew_by_track
+        switch = batch.head_switch_time
+        sector_time = batch.sector_time
+        rotational_slot = batch.rotational_slot
+        transfer = block_sectors * sector_time
+        t = clock.now
+        hc = self.head_cylinder
+        hh = self.head_head
+        busy = counters.busy_time
+        scsi_total = 0.0
+        locate_total = 0.0
+        transfer_total = 0.0
+        if accumulate is not None:
+            acc_scsi = accumulate.scsi
+            acc_locate = accumulate.locate
+            acc_transfer = accumulate.transfer
+        cursor = sector
+        for _ in range(blocks):
+            t0 = t
+            if scsi:
+                scsi_total += scsi
+                t += scsi
+            track = cursor // per_track
+            sect = cursor - track * per_track
+            cylinder = track // tpc
+            head = track - cylinder * tpc
+            distance = cylinder - hc
+            if distance < 0:
+                distance = -distance
+            positioning = seeks[distance]
+            if head != hh and switch > positioning:
+                positioning = switch
+            locate = 0.0
+            if positioning > 0.0:
+                locate = positioning
+                t += positioning
+            hc = cylinder
+            hh = head
+            angle = sect + skews[track]
+            if angle >= per_track:
+                angle -= per_track
+            rotational = ((angle - rotational_slot(t)) % per_track) * sector_time
+            if rotational > 0.0:
+                locate += rotational
+                t += rotational
+            t += transfer
+            locate_total += locate
+            transfer_total += transfer
+            if accumulate is not None:
+                if scsi:
+                    acc_scsi += scsi
+                acc_locate += locate
+                acc_transfer += transfer
+            busy += t - t0
+            cursor += block_sectors
+        clock.advance_to(t)
+        self.head_cylinder = hc
+        self.head_head = hh
+        counters.writes += blocks
+        counters.sectors_written += count
+        counters.busy_time = busy
+        if accumulate is not None:
+            if scsi:
+                accumulate.scsi = acc_scsi
+            accumulate.locate = acc_locate
+            accumulate.transfer = acc_transfer
+        breakdown = Breakdown(
+            scsi=scsi_total, transfer=transfer_total, locate=locate_total
+        )
+        if self._data is not None:
+            lo = sector * sector_bytes
+            payload = data if data is not None else _zeros(count * sector_bytes)
+            self._data[lo : lo + count * sector_bytes] = payload
+            if self.checksums is not None:
+                if data is None:
+                    self.checksums.record_zeros(sector, count)
+                else:
+                    self.checksums.record(sector, payload)
+        self.cache.note_write(sector, count)
         return breakdown
 
     def _chunk_within_track(self, sector: int, remaining: int) -> int:

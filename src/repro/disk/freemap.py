@@ -118,6 +118,10 @@ class FreeSpaceMap:
             for idx in range(n_tracks)
         ]
         self._bases: List[int] = [idx * n for idx in range(n_tracks)]
+        #: Lazily-built ``track index -> (cylinder, head)`` table (the
+        #: compactor's ``partial_tracks`` sweep is hot enough that the
+        #: per-track divmod shows up).
+        self._coords: Optional[List[Tuple[int, int]]] = None
         #: Per-track memo of the last angle-space run-starts mask:
         #: ``(source_mask, count, align, rotated_starts)``.  An entry is
         #: valid only while the track's occupancy mask still equals the
@@ -399,6 +403,21 @@ class FreeSpaceMap:
             sect += n
         return gap, self._bases[track_idx] + sect
 
+    def segment_free(self, sector: int, count: int) -> bool:
+        """True when the ``count`` sectors starting at linear ``sector``
+        are all free.  The segment must not cross a track boundary --
+        this is the O(1) probe the batched allocator's run extension
+        uses on block-aligned, track-local candidates."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        n = self._n
+        track_idx, offset = divmod(sector, n)
+        if offset + count > n:
+            raise ValueError("segment must not cross a track boundary")
+        self.geometry.check_sector(sector)
+        segment = ((1 << count) - 1) << offset
+        return self._masks[track_idx] & segment == segment
+
     def has_aligned_run(
         self, cylinder: int, head: int, count: int, align: int = 1
     ) -> bool:
@@ -546,9 +565,15 @@ class FreeSpaceMap:
         if minimum_free <= 0:
             raise ValueError("minimum_free must be positive")
         n = self._n
-        tracks_per_cyl = self.geometry.tracks_per_cylinder
+        coords = self._coords
+        if coords is None:
+            tracks_per_cyl = self.geometry.tracks_per_cylinder
+            coords = self._coords = [
+                divmod(idx, tracks_per_cyl)
+                for idx in range(len(self._track_free))
+            ]
         return [
-            divmod(idx, tracks_per_cyl)
+            coords[idx]
             for idx, free in enumerate(self._track_free)
             if minimum_free <= free < n
         ]

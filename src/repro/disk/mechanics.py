@@ -20,6 +20,13 @@ class DiskMechanics:
         self.rotation_time = spec.rotation_time
         self.sector_time = spec.sector_time
         self.sectors_per_track = spec.sectors_per_track
+        #: Clock magnitude beyond which the interior-boundary snap's
+        #: tolerance (``now * 2e-14`` seconds) could reach 0.125 slots,
+        #: i.e. where the cheap ``slot % 1.0`` proximity pre-gate would
+        #: no longer be a safe superset of the snap condition.  The exact
+        #: crossover is ``0.124 * sector_time / 2e-14`` (~6e12 sector
+        #: times); 1e12 leaves a 6x margin.
+        self._snap_coarse = spec.sector_time * 1e12
 
     def rotational_slot(self, now: float) -> float:
         """Continuous angular position (in sector slots) at time ``now``.
@@ -41,6 +48,27 @@ class DiskMechanics:
         snap to the boundary (slot 0.0).  The ``frac >= 1.0`` guard
         restores the documented ``[0, n)`` range in the opposite corner,
         where ``rem / rotation_time`` rounds up to exactly 1.0.
+
+        The same argument applies at every *interior* sector boundary: a
+        chain of service times that mathematically ends exactly where a
+        sector starts (the normal case for back-to-back transfers)
+        accumulates one rounding per arithmetic step, so the float sum
+        lands within a few ulp of the boundary on either side.  Read a
+        hair *past* it, the next access to that sector would charge a
+        full spurious revolution -- which is how the eager allocator used
+        to skip the physically adjacent block after almost every write.
+        Slots within ``now * 2e-14`` seconds of a sector boundary (about
+        90 ulp of the clock, still nine orders of magnitude below a
+        sector time at simulation scales) therefore snap to it.
+
+        The exact snap test (a ``round`` call plus an ulp-scale compare)
+        is gated behind a cheap proximity check: the snap can only fire
+        when ``slot`` is within ``now * 2e-14 / sector_time`` slots of an
+        integer, which for clocks below ``_snap_coarse`` is far inside
+        0.125 slots -- so ``slot % 1.0`` outside ``(0.125, 0.875)`` (or
+        an over-coarse clock) is the only case that needs the full test.
+        The gate is a strict superset of the snap condition, so results
+        are bit-identical with or without it.
         """
         if now < 0.0:
             raise ValueError("time must be non-negative")
@@ -51,7 +79,15 @@ class DiskMechanics:
         frac = rem / rotation
         if frac >= 1.0:
             return 0.0
-        return frac * self.sectors_per_track
+        slot = frac * self.sectors_per_track
+        m = slot % 1.0
+        if m < 0.125 or m > 0.875 or now > self._snap_coarse:
+            nearest = round(slot)
+            if nearest != slot and abs(rem - nearest * self.sector_time) <= now * 2e-14:
+                if nearest == self.sectors_per_track:
+                    return 0.0
+                return float(nearest)
+        return slot
 
     def wait_for_slot(self, now: float, target_slot: int) -> float:
         """Seconds until the *start* of ``target_slot`` next passes the head.

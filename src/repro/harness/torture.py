@@ -236,10 +236,19 @@ def torture_point(
     read_error_rate: float = 0.0,
     flaky: int = 0,
     flaky_rate: float = 0.0,
+    queue_depth: int = 1,
+    sched: str = "fifo",
     seed: int = 0,
 ) -> Dict[str, Any]:
     """Run one composed-fault scenario end to end; returns a
-    JSON-serializable verdict (``ok`` plus diagnostics)."""
+    JSON-serializable verdict (``ok`` plus diagnostics).
+
+    ``queue_depth``/``sched`` configure the VLD's internal request
+    scheduler: depth > 1 runs the batched data-movement path with whole
+    runs queued as single requests, so a crash can land between the run
+    writes and the map commit -- the recovery audit still demands
+    old-or-new contents for every block.
+    """
     import random
 
     if workload not in WORKLOADS:
@@ -247,7 +256,7 @@ def torture_point(
                          f"try one of {sorted(WORKLOADS)}")
     rng = random.Random(seed)
     disk = Disk(ST19101, num_cylinders=6)
-    vld = VirtualLogDisk(disk)
+    vld = VirtualLogDisk(disk, queue_depth=queue_depth, sched=sched)
     oracle = _Oracle(vld.block_size, seed)
     failures: List[str] = []
 
@@ -405,6 +414,12 @@ FAMILIES: Dict[str, Dict[str, Any]] = {
     "flaky": dict(ops=100, flaky=6, flaky_rate=0.5),
     "composed": dict(ops=120, crash_after=50, torn=True,
                      flaky=4, flaky_rate=0.4, read_error_rate=0.002),
+    # The batched-movement smoke: depth-4 satf queue, so multi-block
+    # writes go down as single run requests and the crash can land
+    # between a run's media writes and its map commit; recovery must
+    # still hand back old-or-new for every block.
+    "crash+torn@depth4": dict(ops=120, crash_after=35, torn=True,
+                              queue_depth=4, sched="satf"),
 }
 
 

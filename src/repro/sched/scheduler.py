@@ -60,6 +60,7 @@ class DiskRequest:
         "failed",
         "result",
         "breakdown",
+        "block_sectors",
         "service_start",
         "completion",
         "completed",
@@ -80,6 +81,9 @@ class DiskRequest:
         self.count = count
         self.data = data
         self.charge_scsi = charge_scsi
+        #: Block granularity for batched run writes (``None`` for plain
+        #: requests): serviced through ``Disk.write_run``.
+        self.block_sectors: Optional[int] = None
         self.seq = seq
         self.arrival = arrival
         self.passes = 0
@@ -173,6 +177,24 @@ class DiskScheduler:
             self.service_one()
         return req
 
+    def write_run(
+        self,
+        sector: int,
+        count: int,
+        block_sectors: int,
+        data: Optional[bytes] = None,
+        charge_scsi: bool = True,
+    ) -> DiskRequest:
+        """Submit a physically contiguous run of block writes as one
+        request, serviced through :meth:`Disk.write_run` (per-block
+        timing, batched bookkeeping).  Queue semantics match
+        :meth:`write`."""
+        req = self._enqueue("write", sector, count, data, charge_scsi)
+        req.block_sectors = block_sectors
+        while len(self._pending) >= self.queue_depth:
+            self.service_one()
+        return req
+
     def read(
         self, sector: int, count: int = 1, charge_scsi: bool = True
     ) -> Tuple[bytes, Breakdown]:
@@ -239,6 +261,20 @@ class DiskScheduler:
                     chosen.sector, chosen.count, charge_scsi=chosen.charge_scsi
                 )
                 chosen.result = data
+            elif chosen.block_sectors is not None:
+                # Run requests fold their per-block charges straight into
+                # the unclaimed accumulator: callers may split one logical
+                # run across several requests, and only a single shared
+                # accumulation keeps the folded totals bit-identical to
+                # the per-block scalar path (float adds don't reassociate).
+                breakdown = self.disk.write_run(
+                    chosen.sector,
+                    chosen.count,
+                    chosen.block_sectors,
+                    chosen.data,
+                    charge_scsi=chosen.charge_scsi,
+                    accumulate=self._unclaimed,
+                )
             else:
                 breakdown = self.disk.write(
                     chosen.sector,
@@ -257,7 +293,7 @@ class DiskScheduler:
         chosen.breakdown = breakdown
         chosen.completion = clock.now
         chosen.done = True
-        if chosen.op == "write":
+        if chosen.op == "write" and chosen.block_sectors is None:
             self._unclaimed.add(breakdown)
         self.serviced += 1
         self.busy_seconds += chosen.completion - chosen.service_start

@@ -109,11 +109,169 @@ class EagerAllocator:
         self.allocations += 1
         return sector // self.block_sectors
 
+    def allocate_run(self, max_blocks: int) -> Tuple[int, int]:
+        """Allocate up to ``max_blocks`` physically contiguous blocks near
+        the head; returns ``(first_block, blocks)``.
+
+        The first block is chosen exactly as :meth:`allocate` chooses it.
+        Under ``TRACK_FILL`` with an active fill track the run is then
+        extended block by block while the *next adjacent* block is
+        provably what the scalar query would return after servicing the
+        previous block's write:
+
+        * the fill track stays above its reserve (``_track_usable``),
+        * the adjacent block's sectors are free and inside the track, and
+        * the head -- projected forward with exactly the per-block service
+          arithmetic ``Disk.write`` uses -- arrives within one block's
+          worth of slots of the adjacent sectors' angle, which forces the
+          rotationally-nearest aligned run to be those very sectors
+          (aligned candidates sit exactly ``block_sectors`` slots apart).
+
+        The extension never runs the policy's full query, so no policy
+        state (``_fill_track``, ``fallbacks``, sweep cursors) mutates
+        beyond what the scalar per-block sequence would do.  When the
+        proof fails the run simply stops; the caller issues the run and
+        the next call re-queries at the true clock, which by construction
+        equals the projected time -- so a conservative stop splits a run
+        without ever changing placement.
+        """
+        if max_blocks <= 0:
+            raise ValueError("max_blocks must be positive")
+        sector = self._choose_sector()
+        spb = self.block_sectors
+        run = 1
+        fallback_blocks = 0
+        if max_blocks > 1:
+            policy = self.policy
+            fill = self._fill_track
+            fill_mode = greedy_mode = False
+            if policy is AllocationPolicy.TRACK_FILL:
+                if fill is not None:
+                    fill_mode = True
+                elif self.freemap._empty_tracks == 0:
+                    # Greedy fallback, and it stays the fallback for every
+                    # block of the run: empty tracks cannot appear while
+                    # we only allocate, so the scalar per-block sequence
+                    # deterministically re-enters ``_choose_greedy`` (and
+                    # counts a fallback) each time.
+                    greedy_mode = True
+            elif policy is AllocationPolicy.GREEDY_CYLINDER:
+                greedy_mode = True
+            disk = self.disk
+            geometry = disk.geometry
+            n = geometry.sectors_per_track
+            track = sector // n
+            sect = sector - track * n
+            tpc = geometry.tracks_per_cylinder
+            cylinder = track // tpc
+            head = track - cylinder * tpc
+            if fill_mode and (cylinder, head) != fill:
+                fill_mode = False
+            if fill_mode or greedy_mode:
+                batch = disk.batch
+                freemap = self.freemap
+                rotational_slot = batch.rotational_slot
+                seeks = batch.seek_by_distance
+                switch = batch.head_switch_time
+                sector_time = batch.sector_time
+                switch_slots = disk.spec.head_switch_time / sector_time
+                skew = batch.skew_by_track[track]
+                transfer = spb * sector_time
+                reserve = max(self.reserve_sectors + spb, spb)
+                free = freemap.track_free_count(cylinder, head)
+                base = track * n
+                # Project servicing the first block's write, starting
+                # from the true head position and clock.
+                t = disk.clock.now
+                distance = cylinder - disk.head_cylinder
+                if distance < 0:
+                    distance = -distance
+                positioning = seeks[distance]
+                if head != disk.head_head and switch > positioning:
+                    positioning = switch
+                seek_same = seeks[0]
+                cur = sect
+                while True:
+                    if positioning > 0.0:
+                        t += positioning
+                    angle = cur + skew
+                    if angle >= n:
+                        angle -= n
+                    rotational = ((angle - rotational_slot(t)) % n) * sector_time
+                    if rotational > 0.0:
+                        t += rotational
+                    t += transfer
+                    free -= spb
+                    if run >= max_blocks:
+                        break
+                    nxt = cur + spb
+                    if nxt + spb > n:
+                        break
+                    if fill_mode and free < reserve:
+                        break
+                    if not freemap.segment_free(base + nxt, spb):
+                        break
+                    next_angle = nxt + skew
+                    if next_angle >= n:
+                        next_angle -= n
+                    if fill_mode:
+                        # The scalar fill query runs at time ``t`` with
+                        # the head already on the fill track: its arrival
+                        # is the platter angle after the same-track
+                        # positioning, and the nearest aligned run on the
+                        # track is forced to be the adjacent block when
+                        # its gap is under one block (aligned candidates
+                        # sit exactly ``spb`` slots apart).
+                        arrival = rotational_slot(t + seek_same)
+                        if (next_angle - arrival) % n >= spb:
+                            break
+                    else:
+                        # The scalar greedy query races every track of
+                        # the cylinder; the adjacent block is forced when
+                        # its gap also beats the head-switch penalty any
+                        # other track's candidate must pay.
+                        arrival = rotational_slot(t + 0.0)
+                        gap = (next_angle - arrival) % n
+                        if gap >= spb or gap >= switch_slots:
+                            break
+                    cur = nxt
+                    run += 1
+                    if greedy_mode and policy is AllocationPolicy.TRACK_FILL:
+                        fallback_blocks += 1
+                    positioning = seek_same
+        self.freemap.mark_used(sector, run * spb)
+        self.allocations += run
+        self.fallbacks += fallback_blocks
+        return sector // spb, run
+
     def free_block(self, block: int, sectors: Optional[int] = None) -> None:
         """Return a block to the free pool."""
         if sectors is not None and sectors != self.block_sectors:
             raise ValueError("sector count mismatch")
         self.freemap.mark_free(block * self.block_sectors, self.block_sectors)
+
+    def free_blocks(self, blocks: List[int]) -> None:
+        """Return many blocks to the free pool at once, coalescing
+        physically adjacent blocks into range-granular free-map updates.
+
+        The free map is a set: marking ``[a, a+2)`` free is the same state
+        as marking ``a`` and ``a+1`` separately, in any order, so this is
+        pure bookkeeping batching -- displaced old copies from a logical
+        run were usually allocated as one physical run and free as one.
+        """
+        if not blocks:
+            return
+        spb = self.block_sectors
+        mark_free = self.freemap.mark_free
+        ordered = sorted(blocks)
+        start = prev = ordered[0]
+        for block in ordered[1:]:
+            if block == prev + 1:
+                prev = block
+                continue
+            mark_free(start * spb, (prev - start + 1) * spb)
+            start = prev = block
+        mark_free(start * spb, (prev - start + 1) * spb)
 
     def reserve_block(self, block: int) -> None:
         """Permanently remove a block from the pool (e.g. the power-down

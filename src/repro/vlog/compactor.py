@@ -31,6 +31,8 @@ class FreeSpaceCompactor:
         self.rng = rng if rng is not None else random.Random(0x5EED)
         self.tracks_compacted = 0
         self.blocks_moved = 0
+        #: Lazily checked once: is the seek curve monotone in distance?
+        self._seeks_sorted: Optional[bool] = None
 
     # ------------------------------------------------------------------
 
@@ -163,10 +165,7 @@ class FreeSpaceCompactor:
             # stop compacting this track.
             return None
         vld.freemap.mark_used(destination * spb, spb)
-        vld.disk.write(destination * spb, spb, data, charge_scsi=False)
-        vld.imap.set(lba, destination)
-        vld.reverse[destination] = lba
-        vld.reverse.pop(block, None)
+        chunk_id = vld.move_block(lba, block, destination, data)
         # The old copy is freed immediately; the map commit is batched by
         # the caller.  A crash between move and commit recovers the *old*
         # mapping -- whose block we just freed but have not yet reused
@@ -174,50 +173,105 @@ class FreeSpaceCompactor:
         # paper's single-compactor design.
         vld.freemap.mark_free(block * spb, spb)
         self.blocks_moved += 1
-        return vld.imap.chunk_id_of(lba)
+        return chunk_id
 
     def _find_hole(self, source_track: Tuple[int, int]) -> Optional[int]:
         """Nearest free block on a *partially used* track other than the
         source (classic hole-plugging: never consume empty tracks).
 
-        The candidate tracks come straight from the free map's counters
-        and are priced in one ``BatchMechanics.price_track_arrivals``
-        pass; the run query then only visits tracks that can actually
-        hold a block (same answers, same tie-breaks as the old
-        every-track scalar scan).
+        The winner is the minimum by ``(cost, track index)`` over the
+        partial tracks -- exactly what the old in-order scan over
+        ``partial_tracks`` (which iterates in row-major track order) with
+        its strict-improvement rule selected.  Rather than pricing every
+        partial track on the drive, the search walks cylinders outward
+        from the arm by seek distance and stops as soon as the seek alone
+        exceeds the incumbent's full cost (cost = positioning + a
+        non-negative rotational term), so the rotational pricing and the
+        per-track run query only run for the handful of nearest tracks.
         """
         vld = self.vld
         disk = vld.disk
         spb = vld.sectors_per_block
         freemap = vld.freemap
-        tracks = [
-            track
-            for track in freemap.partial_tracks(spb)
-            if track != source_track
-        ]
-        if not tracks:
-            return None
-        arrivals = disk.batch.price_track_arrivals(
-            disk.clock.now, disk.head_cylinder, disk.head_head, tracks
-        )
-        sector_time = disk.batch.sector_time
-        best: Optional[Tuple[float, int]] = None
-        for (cylinder, head), (seek, arrival) in zip(tracks, arrivals):
-            if best is not None and seek >= best[0]:
-                # cost = seek + a non-negative rotational term, so this
-                # track cannot strictly beat the incumbent; skipping it
-                # keeps the first-minimum-wins tie-break intact.
-                continue
-            found = freemap.nearest_free_run(
-                cylinder, head, arrival, spb, align=spb
-            )
-            if found is None:
-                continue
-            gap_slots, linear = found
-            cost = seek + gap_slots * sector_time
-            if best is None or cost < best[0]:
-                best = (cost, linear // spb)
-        return None if best is None else best[1]
+        batch = disk.batch
+        seeks = batch.seek_by_distance
+        switch = batch.head_switch_time
+        sector_time = batch.sector_time
+        rotational_slot = batch.rotational_slot
+        head_cyl = disk.head_cylinder
+        head_head = disk.head_head
+        now = disk.clock.now
+        geometry = disk.geometry
+        tpc = geometry.tracks_per_cylinder
+        num_cylinders = geometry.num_cylinders
+        per_track = geometry.sectors_per_track
+        track_free = freemap._track_free
+        nearest_free_run = freemap.nearest_free_run
+        src_cyl, src_head = source_track
+        if self._seeks_sorted is None:
+            # The outward walk prunes whole distances on the premise that
+            # the seek curve never decreases with distance; verify once
+            # (physically always true, but cheap insurance).
+            self._seeks_sorted = all(a <= b for a, b in zip(seeks, seeks[1:]))
+        can_prune_distance = self._seeks_sorted
+        best_cost = 0.0
+        best_key = -1
+        best_block: Optional[int] = None
+        for distance in range(num_cylinders):
+            floor = seeks[distance]
+            if (
+                can_prune_distance
+                and best_block is not None
+                and floor > best_cost
+            ):
+                # Every remaining track sits at least this seek away, so
+                # its cost (>= its seek) cannot beat the incumbent.
+                break
+            lo = head_cyl - distance
+            hi = head_cyl + distance
+            if lo < 0 and hi >= num_cylinders:
+                break
+            cylinders = (lo,) if lo == hi else (lo, hi)
+            for cylinder in cylinders:
+                if cylinder < 0 or cylinder >= num_cylinders:
+                    continue
+                base = cylinder * tpc
+                for head in range(tpc):
+                    free = track_free[base + head]
+                    if free < spb or free >= per_track:
+                        continue
+                    if cylinder == src_cyl and head == src_head:
+                        continue
+                    positioning = floor
+                    if head != head_head and switch > positioning:
+                        positioning = switch
+                    key = base + head
+                    if best_block is not None and (
+                        positioning > best_cost
+                        or (positioning == best_cost and key > best_key)
+                    ):
+                        # cost >= positioning, so this track either costs
+                        # strictly more than the incumbent or at best ties
+                        # with a later track index; it cannot win.
+                        continue
+                    found = nearest_free_run(
+                        cylinder, head,
+                        rotational_slot(now + positioning), spb,
+                        align=spb,
+                    )
+                    if found is None:
+                        continue
+                    gap_slots, linear = found
+                    cost = positioning + gap_slots * sector_time
+                    if (
+                        best_block is None
+                        or cost < best_cost
+                        or (cost == best_cost and key < best_key)
+                    ):
+                        best_cost = cost
+                        best_key = key
+                        best_block = linear // spb
+        return best_block
 
     def _commit_moves(self, touched_chunks: Dict[int, List[int]]) -> None:
         """Write the map records for all chunks whose entries moved."""

@@ -16,8 +16,23 @@ is also what makes attaching the store to an already-used disk sound.
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from typing import Dict, List
+
+#: Shared all-zero ``bytes`` objects by length, for content comparisons.
+#: The simulator's traffic is overwhelmingly zero-filled -- timing studies
+#: do not care about contents -- so "is this payload all zeros?" is one
+#: C-level memcmp that replaces a CRC per sector.  Payload sizes are a
+#: handful of block-size multiples, so the cache stays tiny.
+_ZEROS_BY_LEN: Dict[int, bytes] = {}
+
+
+def _zeros_of(n: int) -> bytes:
+    zeros = _ZEROS_BY_LEN.get(n)
+    if zeros is None:
+        zeros = _ZEROS_BY_LEN[n] = bytes(n)
+    return zeros
 
 
 class ChecksumStore:
@@ -28,6 +43,8 @@ class ChecksumStore:
             raise ValueError("sector_bytes must be positive")
         self.sector_bytes = sector_bytes
         self._crcs: Dict[int, int] = {}
+        #: CRC of one all-zero sector; every zero sector records this.
+        self._zero_crc = zlib.crc32(bytes(sector_bytes)) & 0xFFFFFFFF
 
     def __len__(self) -> int:
         return len(self._crcs)
@@ -36,20 +53,43 @@ class ChecksumStore:
         """Recompute checksums for the sectors ``data`` just overwrote.
 
         Called from inside every ``Disk.write``, so the common shapes are
-        fast-pathed: a single sector skips the slicing machinery, and
-        multi-sector runs land in one batched dict update instead of one
-        store per sector.
+        fast-pathed: a single sector skips the slicing machinery, an
+        all-zero payload stores the precomputed zero-sector CRC without
+        hashing anything, and multi-sector runs land in one batched dict
+        update instead of one store per sector.
         """
         sb = self.sector_bytes
-        count = len(data) // sb
+        if type(data) is not bytes:
+            # memoryview payloads (zero-copy callers): one bulk copy here
+            # is cheaper than per-sector sub-view hashing below, and the
+            # bytes/bytes compare against the zero cache is a plain memcmp
+            # (memoryview comparisons unpack element by element).
+            data = bytes(data)
+        n = len(data)
+        count = n // sb
+        if data == _zeros_of(n):
+            self.record_zeros(sector, count)
+            return
         crc32 = zlib.crc32
-        if count == 1 and len(data) == sb:
+        if count == 1 and n == sb:
             self._crcs[sector] = crc32(data) & 0xFFFFFFFF
             return
         view = memoryview(data)
         self._crcs.update(
             (sector + i, crc32(view[i * sb : (i + 1) * sb]) & 0xFFFFFFFF)
             for i in range(count)
+        )
+
+    def record_zeros(self, sector: int, count: int) -> None:
+        """Record ``count`` sectors of zeros without touching any data:
+        the data-less write path (``Disk.write`` with ``data=None``) knows
+        its payload is the shared zero page, so every sector stores the
+        precomputed zero-sector CRC."""
+        if count == 1:
+            self._crcs[sector] = self._zero_crc
+            return
+        self._crcs.update(
+            zip(range(sector, sector + count), itertools.repeat(self._zero_crc))
         )
 
     def recorded(self, sector: int) -> bool:
@@ -66,9 +106,19 @@ class ChecksumStore:
         if len(data) < count * sb:
             raise ValueError("data shorter than the claimed sector run")
         bad: List[int] = []
+        get = self._crcs.get
+        span = count * sb
+        if data[:span] == _zeros_of(span):
+            # Every sector's computed CRC is the zero-sector constant.
+            zero_crc = self._zero_crc
+            for i in range(count):
+                stored = get(sector + i)
+                if stored is not None and stored != zero_crc:
+                    bad.append(sector + i)
+            return bad
         view = memoryview(data)
         for i in range(count):
-            stored = self._crcs.get(sector + i)
+            stored = get(sector + i)
             if stored is None:
                 continue
             if zlib.crc32(view[i * sb : (i + 1) * sb]) & 0xFFFFFFFF != stored:

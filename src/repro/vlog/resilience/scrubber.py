@@ -122,11 +122,7 @@ class MediaScrubber:
             self.lost_sectors.append(sector)
             return
         new_block = vld.allocator.allocate()
-        vld.disk.write(new_block * spb, spb, data, charge_scsi=False)
-        vld.imap.set(lba, new_block)
-        vld.reverse[new_block] = lba
-        vld.reverse.pop(block, None)
-        chunk_id = vld.imap.chunk_id_of(lba)
+        chunk_id = vld.move_block(lba, block, new_block, data)
         vld.vlog.append(chunk_id, vld.imap.chunk_entries(chunk_id))
         # Free the old copy; the quarantined sector inside it stays used.
         vld.allocator.free_block(block)

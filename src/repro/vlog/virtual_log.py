@@ -97,6 +97,10 @@ class VirtualLog:
         #: commit-record slot per txn, and retired slots free for reuse.
         self._txn_live_members: Dict[int, int] = {}
         self._txn_slot: Dict[int, int] = {}
+        #: Inverse of ``_txn_slot`` (commit slot -> txn), maintained at
+        #: every mutation so the append path answers commit-slot payloads
+        #: without rebuilding the reversed dict per record.
+        self._slot_txn: Dict[int, int] = {}
         self._free_commit_slots: List[int] = []
         self._next_commit_slot = COMMIT_CHUNK_BASE
         self.last_txn_seen = 0
@@ -115,6 +119,7 @@ class VirtualLog:
         self._in_edges.clear()
         self._txn_live_members.clear()
         self._txn_slot.clear()
+        self._slot_txn.clear()
         self._free_commit_slots.clear()
         self._next_commit_slot = COMMIT_CHUNK_BASE
         self.recovered_committed_txns = set()
@@ -144,7 +149,7 @@ class VirtualLog:
     def _chunk_payload(self, chunk_id: int) -> List[int]:
         """Current contents of a chunk (commit slots answer locally)."""
         if chunk_id >= COMMIT_CHUNK_BASE:
-            txn = {v: k for k, v in self._txn_slot.items()}.get(chunk_id)
+            txn = self._slot_txn.get(chunk_id)
             return [txn] if txn is not None else [0]
         return self.chunk_provider(chunk_id)
 
@@ -297,6 +302,7 @@ class VirtualLog:
             raise ValueError("transaction ids are positive")
         slot = self._allocate_commit_slot()
         self._txn_slot[txn_id] = slot
+        self._slot_txn[slot] = txn_id
         breakdown = self.append(slot, [txn_id])
         for block in superseded:
             if block in self._nodes:
@@ -349,6 +355,7 @@ class VirtualLog:
         self._txn_live_members.pop(txn_id, None)
         slot = self._txn_slot.pop(txn_id, None)
         if slot is not None:
+            self._slot_txn.pop(slot, None)
             self._free_commit_slots.append(slot)
 
     def _delete_with_repair(self, block: int) -> Breakdown:
@@ -556,6 +563,7 @@ class VirtualLog:
         tail_block: Optional[int] = None
         self._txn_live_members.clear()
         self._txn_slot.clear()
+        self._slot_txn.clear()
         for chunk_id, (seqno, block) in youngest.items():
             record = records[block]
             node = _Node(
@@ -572,6 +580,7 @@ class VirtualLog:
                 )
             if record.is_commit and record.entries:
                 self._txn_slot[record.entries[0]] = chunk_id
+                self._slot_txn[chunk_id] = record.entries[0]
             if seqno > max_seqno:
                 max_seqno = seqno
                 tail_block = block
@@ -583,7 +592,9 @@ class VirtualLog:
             for t in self._txn_slot
             if self._txn_live_members.get(t, 0) == 0
         ]:
-            self._free_commit_slots.append(self._txn_slot.pop(txn))
+            slot = self._txn_slot.pop(txn)
+            self._slot_txn.pop(slot, None)
+            self._free_commit_slots.append(slot)
         if self._nodes:
             commit_ids = [
                 c for c in self._chunk_location if c >= COMMIT_CHUNK_BASE

@@ -113,12 +113,30 @@ class TestRotationBoundaryNormalization:
 
     def test_ordinary_times_unchanged(self, mech):
         # The normalization must not disturb positions away from
-        # boundaries: mid-revolution answers are the plain closed form.
-        for now in (0.00123, 0.5 * mech.rotation_time, 1.75 * mech.rotation_time):
+        # boundaries: mid-slot answers are the plain closed form.
+        # (0.5 * rotation_time is an exact interior boundary for an even
+        # sector count, so it already reads as an exact integer slot.)
+        n = mech.sectors_per_track
+        mid_slot = (0.5 + 0.37 / n) * mech.rotation_time
+        for now in (0.00123, mid_slot, 3.0 * mech.rotation_time + mid_slot):
             rem = now % mech.rotation_time
             if rem > math.ulp(now):
                 expected = (rem / mech.rotation_time) * mech.sectors_per_track
                 assert mech.rotational_slot(now) == expected
+
+    def test_interior_sector_boundaries_snap(self, mech):
+        # Times that are mathematically a whole number of sector slots
+        # past a rotation boundary read as exactly that integer slot,
+        # even though the float product lands a few ulp off it -- the
+        # same normalization as slot 0, applied to interior boundaries
+        # (a chain of back-to-back transfers ends exactly on one, and a
+        # hair-past reading would charge a spurious full revolution for
+        # the physically adjacent sector).
+        n = mech.sectors_per_track
+        for k in (1, 3, 17, n - 1):
+            for revs in (0, 2, 1000):
+                now = (revs * n + k) * mech.sector_time
+                assert mech.rotational_slot(now) == float(k), (revs, k)
 
 
 class TestTransferAndPositioning:

@@ -143,3 +143,76 @@ class TestCommitSlots:
         # Normal operation continues.
         h.put(0, [99])
         assert h.recover()[0] == [99]
+
+
+class TestCommitSlotInverseMap:
+    """``_slot_txn`` is the exact inverse of ``_txn_slot`` at every
+    mutation -- the append path answers commit-slot payloads from it
+    instead of rebuilding a reversed dict per record, so any drift
+    between the two would silently corrupt relocated commit records."""
+
+    def _assert_inverse(self, vlog):
+        assert vlog._slot_txn == {
+            slot: txn for txn, slot in vlog._txn_slot.items()
+        }
+
+    def test_commit_populates_both_directions(self, h):
+        h.put(0, [1])
+        txn = h.vlog.begin_txn()
+        _, superseded = h.txn_put(0, [2], txn)
+        h.vlog.commit_txn(txn, [superseded])
+        self._assert_inverse(h.vlog)
+        slot = h.vlog._txn_slot[txn]
+        # The append path resolves the slot's payload to the txn id.
+        assert h.vlog._chunk_payload(slot) == [txn]
+
+    def test_slot_retirement_clears_inverse(self, h):
+        h.put(0, [1])
+        txn = h.vlog.begin_txn()
+        _, superseded = h.txn_put(0, [2], txn)
+        h.vlog.commit_txn(txn, [superseded])
+        slot = h.vlog._txn_slot[txn]
+        # A plain append supersedes the member record, retiring the txn
+        # and its slot.
+        h.put(0, [3])
+        self._assert_inverse(h.vlog)
+        assert slot not in h.vlog._slot_txn
+        assert h.vlog._chunk_payload(slot) == [0]
+
+    def test_reused_slot_answers_new_txn(self, h):
+        h.put(0, [1])
+        first = h.vlog.begin_txn()
+        _, superseded = h.txn_put(0, [2], first)
+        h.vlog.commit_txn(first, [superseded])
+        slot = h.vlog._txn_slot[first]
+        h.put(0, [3])  # retire the first txn, freeing its slot
+        second = h.vlog.begin_txn()
+        _, superseded = h.txn_put(0, [4], second)
+        h.vlog.commit_txn(second, [superseded])
+        self._assert_inverse(h.vlog)
+        assert h.vlog._txn_slot[second] == slot
+        assert h.vlog._chunk_payload(slot) == [second]
+
+    def test_abort_keeps_maps_agreeing(self, h):
+        h.put(0, [1])
+        h.put(1, [5])
+        txn = h.vlog.begin_txn()
+        h.txn_put(0, [2], txn)
+        h.txn_put(1, [6], txn)
+        h.vlog.abort_txn(txn, lambda c: {0: [1], 1: [5]}[c])
+        self._assert_inverse(h.vlog)
+        assert txn not in h.vlog._txn_slot
+        h.vlog.check_invariants()
+
+    def test_recovery_rebuilds_inverse(self, h):
+        h.put(0, [1])
+        for value in (2, 3, 4):
+            txn = h.vlog.begin_txn()
+            _, superseded = h.txn_put(0, [value], txn)
+            h.vlog.commit_txn(
+                txn, [] if superseded is None else [superseded]
+            )
+        h.recover()
+        self._assert_inverse(h.vlog)
+        for txn, slot in h.vlog._txn_slot.items():
+            assert h.vlog._chunk_payload(slot) == [txn]
