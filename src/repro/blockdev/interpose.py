@@ -49,6 +49,8 @@ from repro.sim.engine import IntervalRecorder
 from repro.sim.metrics import LatencyHistogram
 from repro.sim.stats import COMPONENTS, Breakdown
 
+_UNSET = object()
+
 
 class DeviceFault(Exception):
     """Base class for injected device failures.
@@ -57,8 +59,11 @@ class DeviceFault(Exception):
     retry machinery) can record *what* failed without parsing message
     strings: the logical operation, the logical block / physical sector it
     targeted, the run length, and -- when a retry policy is replaying the
-    operation -- which attempt this was.  All fields are optional; raisers
-    fill in what they know.
+    operation -- which attempt this was.  ``shard`` identifies the fault
+    domain inside a sharded volume (``None`` for a single-device stack);
+    the volume layer stamps it onto faults escaping a shard, so torture
+    artifacts and retry logs name the failing domain.  All fields are
+    optional; raisers fill in what they know.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class DeviceFault(Exception):
         sector: Optional[int] = None,
         count: Optional[int] = None,
         attempt: Optional[int] = None,
+        shard: Optional[int] = None,
     ) -> None:
         super().__init__(message)
         self.op = op
@@ -77,6 +83,7 @@ class DeviceFault(Exception):
         self.sector = sector
         self.count = count
         self.attempt = attempt
+        self.shard = shard
 
     def context(self) -> Dict[str, object]:
         """The non-``None`` structured fields, for trace records."""
@@ -86,6 +93,7 @@ class DeviceFault(Exception):
             "sector": self.sector,
             "count": self.count,
             "attempt": self.attempt,
+            "shard": self.shard,
         }
         return {k: v for k, v in fields.items() if v is not None}
 
@@ -205,6 +213,27 @@ class ObservingDevice(InterposedDevice):
         clock = getattr(getattr(self.inner, "disk", None), "clock", None)
         return clock.now if clock is not None else 0.0
 
+    def _take_slow_delta(self) -> Tuple[int, float]:
+        """(ops, seconds) of fail-slow surplus since the last call.
+
+        Observers sit *above* the fault layer, so a slowed op reaches
+        them as an ordinary completion with a stretched breakdown; the
+        only way to attribute the stretch is to diff the fault layer's
+        cumulative slow counters across each op.  Uses ``__dict__``
+        directly: a missing attribute here must not fall through
+        ``__getattr__`` to an inner observer's cache.
+        """
+        cache = self.__dict__.get("_slow_source", _UNSET)
+        if cache is _UNSET:
+            cache = find_layer(self.inner, FaultDevice)
+            self.__dict__["_slow_source"] = cache
+        if cache is None:
+            return 0, 0.0
+        cursor = self.__dict__.get("_slow_cursor", (0, 0.0))
+        now = (cache.ops_slowed, cache.slow_extra_seconds)
+        self.__dict__["_slow_cursor"] = now
+        return now[0] - cursor[0], now[1] - cursor[1]
+
     def _note(
         self,
         op: str,
@@ -307,7 +336,9 @@ class TraceEvent:
     ``fault`` names the :class:`DeviceFault` subclass when the operation
     failed instead of completing (``fault_context`` carries its structured
     fields); the breakdown is then empty, since the device never reported
-    a latency for an operation it aborted.
+    a latency for an operation it aborted.  ``slow_extra`` is the seconds
+    of fail-slow surplus a fault layer injected into this op (already
+    inside the breakdown; recorded so slow ops are identifiable).
     """
 
     seq: int
@@ -318,6 +349,7 @@ class TraceEvent:
     breakdown: Breakdown
     fault: Optional[str] = None
     fault_context: Optional[Dict[str, object]] = None
+    slow_extra: float = 0.0
 
     @property
     def elapsed(self) -> float:
@@ -336,6 +368,8 @@ class TraceEvent:
         if self.fault is not None:
             record["fault"] = self.fault
             record["fault_context"] = self.fault_context or {}
+        if self.slow_extra:
+            record["slow_extra"] = self.slow_extra
         return record
 
 
@@ -365,6 +399,7 @@ class TracingDevice(ObservingDevice):
         self._owns_sink = False
 
     def _note(self, op, lba, count, breakdown, start) -> None:
+        slowed, slow_extra = self._take_slow_delta()
         self._emit(TraceEvent(
             seq=self.total_events,
             op=op,
@@ -372,6 +407,7 @@ class TracingDevice(ObservingDevice):
             count=count,
             start=start,
             breakdown=breakdown.copy(),
+            slow_extra=slow_extra if slowed else 0.0,
         ))
 
     def _note_fault(self, op, lba, count, fault, start) -> None:
@@ -469,6 +505,14 @@ class MetricsDevice(ObservingDevice):
         #: counters and histograms so injected faults cannot skew them.
         self.faulted: Dict[str, int] = {}
         self.faulted_seconds = 0.0
+        #: Completed ops a fault layer stretched with a fail-slow window,
+        #: per op name, and the injected surplus seconds.  The surplus is
+        #: already inside the op's breakdown (honest latency), so these
+        #: sit beside the faulted accounting for attribution only --
+        #: host_seconds is never inflated by them.
+        self.slowed: Dict[str, int] = {}
+        self.slow_seconds = 0.0
+        self._take_slow_delta()  # re-anchor the cursor past old surplus
         self.host_seconds = 0.0
         self.idle_seconds = 0.0
         #: Clock gaps that opened while the device still had queued
@@ -516,6 +560,10 @@ class MetricsDevice(ObservingDevice):
         )
         for name in COMPONENTS:
             self.component_hist[name].record(getattr(breakdown, name))
+        slowed, slow_extra = self._take_slow_delta()
+        if slowed:
+            self.slowed[op] = self.slowed.get(op, 0) + slowed
+            self.slow_seconds += slow_extra
         self._attribute_gap(start)
         self._last_end = self._clock_now()
         self.intervals.note("op", op, start, self._last_end)
@@ -634,6 +682,10 @@ class MetricsDevice(ObservingDevice):
             "component_totals": self.component_totals(),
             "service_percentiles": self.service_percentiles(),
             "queue": self.queue_stats(),
+            "faulted": dict(self.faulted),
+            "faulted_seconds": self.faulted_seconds,
+            "slowed": dict(self.slowed),
+            "slow_seconds": self.slow_seconds,
         }
 
     def summary(self) -> str:
@@ -663,6 +715,14 @@ class MetricsDevice(ObservingDevice):
                 f" faulted[{faults}]"
                 f"={self.faulted_seconds * 1e3:.3f}ms"
             )
+        if self.slowed:
+            slows = " ".join(
+                f"{op}={self.slowed[op]}" for op in sorted(self.slowed)
+            )
+            line += (
+                f" slowed[{slows}]"
+                f"={self.slow_seconds * 1e3:.3f}ms"
+            )
         return line
 
 
@@ -679,6 +739,16 @@ class FaultPlan:
     every run.  ``crash_after_ops`` counts host-visible operations
     (reads and writes, not idle); the N-th operation raises
     :class:`DeviceCrashed` without reaching the inner device.
+
+    The *fail-slow* family models a degraded-but-working device: every
+    operation inside a window of host-visible ops takes
+    ``slow_factor`` times its normal latency (the surplus charged as
+    ``locate`` -- a stalling mechanism, not a bigger transfer).  The
+    window starts at op ``slow_after_ops`` and lasts
+    ``slow_duration_ops`` ops (open-ended when ``None``); with
+    ``slow_factor > 1`` but no explicit onset, the onset and duration
+    are drawn from the plan's seed, so a seeded plan gets a seeded
+    window.
     """
 
     seed: int = 0
@@ -686,6 +756,9 @@ class FaultPlan:
     torn_write_rate: float = 0.0
     dropped_write_rate: float = 0.0
     crash_after_ops: Optional[int] = None
+    slow_factor: float = 1.0
+    slow_after_ops: Optional[int] = None
+    slow_duration_ops: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("read_error_rate", "torn_write_rate",
@@ -695,17 +768,48 @@ class FaultPlan:
                 raise ValueError(f"{name} must lie in [0, 1]")
         if self.crash_after_ops is not None and self.crash_after_ops <= 0:
             raise ValueError("crash_after_ops must be positive")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be at least 1")
+        if self.slow_after_ops is not None and self.slow_after_ops <= 0:
+            raise ValueError("slow_after_ops must be positive")
+        if self.slow_duration_ops is not None and self.slow_duration_ops <= 0:
+            raise ValueError("slow_duration_ops must be positive")
+
+    def slow_window(self) -> Optional[Tuple[int, Optional[int]]]:
+        """The fail-slow window as ``(first_op, end_op)`` in 1-based
+        host-visible op ordinals (``end_op`` exclusive, ``None`` = open),
+        or ``None`` when the plan never slows.  Unspecified bounds are
+        drawn deterministically from the plan's seed -- the "seeded
+        onset/duration" contract."""
+        if self.slow_factor <= 1.0:
+            return None
+        if self.slow_after_ops is not None:
+            first = self.slow_after_ops
+            rng = None
+        else:
+            rng = random.Random(self.seed ^ 0x510B)
+            first = rng.randrange(1, 33)
+        if self.slow_duration_ops is not None:
+            return first, first + self.slow_duration_ops
+        if self.slow_after_ops is None:
+            assert rng is not None
+            return first, first + rng.randrange(16, 129)
+        return first, None
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
         """Build a plan from ``key=value`` pairs, e.g.
-        ``"crash_after=40,torn=0.05,drop=0.02,read_err=0.01,seed=7"``."""
+        ``"crash_after=40,torn=0.05,drop=0.02,read_err=0.01,seed=7"``
+        or ``"slow_factor=8,slow_after=20,slow_ops=60"``."""
         keys = {
             "seed": ("seed", int),
             "read_err": ("read_error_rate", float),
             "torn": ("torn_write_rate", float),
             "drop": ("dropped_write_rate", float),
             "crash_after": ("crash_after_ops", int),
+            "slow_factor": ("slow_factor", float),
+            "slow_after": ("slow_after_ops", int),
+            "slow_ops": ("slow_duration_ops", int),
         }
         kwargs = {}
         for pair in filter(None, (p.strip() for p in spec.split(","))):
@@ -731,7 +835,16 @@ class FaultDevice(InterposedDevice):
     * **dropped write**: nothing reaches the inner device at all (a
       lying write cache);
     * **crash after N ops**: the N-th host-visible operation raises
-      :class:`DeviceCrashed`.
+      :class:`DeviceCrashed`;
+    * **fail-slow window**: operations inside the plan's slow window
+      complete correctly but take ``slow_factor`` times as long -- the
+      surplus is charged to the breakdown's ``locate`` component and the
+      simulated clock advances by it, so the host genuinely waits.
+
+    A hedging layer above (the sharded volume) can bound the surplus a
+    single operation may suffer by setting :attr:`hedge_cap` -- the model
+    of a duplicate request racing the slow one: past the cap, the hedge
+    wins and the caller stops paying for the stall.
     """
 
     def __init__(self, inner: BlockDevice, plan: FaultPlan) -> None:
@@ -743,6 +856,45 @@ class FaultDevice(InterposedDevice):
         self.writes_torn = 0
         self.writes_dropped = 0
         self.crashed = False
+        self._slow_window = plan.slow_window()
+        self.ops_slowed = 0
+        self.slow_extra_seconds = 0.0
+        #: Upper bound (seconds) on the per-op slow surplus; ``None``
+        #: means uncapped.  Set transiently by hedged readers.
+        self.hedge_cap: Optional[float] = None
+
+    def slow_active(self) -> bool:
+        """Whether the *current* op (the one :meth:`_tick` just counted)
+        falls inside the plan's fail-slow window."""
+        if self._slow_window is None:
+            return False
+        first, end = self._slow_window
+        if self.ops_seen < first:
+            return False
+        return end is None or self.ops_seen < end
+
+    def _maybe_slow(self, breakdown: Breakdown) -> Breakdown:
+        """Stretch a completed op's latency by the plan's slow factor.
+
+        The surplus is charged as ``locate`` (the device is stalling, not
+        transferring more data) and pushed onto the simulated clock, so
+        the caller's elapsed time and the breakdown stay equal -- metrics
+        layers above see an honest, if slow, operation.
+        """
+        if not self.slow_active():
+            return breakdown
+        extra = breakdown.total * (self.plan.slow_factor - 1.0)
+        if self.hedge_cap is not None:
+            extra = min(extra, self.hedge_cap)
+        if extra <= 0.0:
+            return breakdown
+        breakdown.charge("locate", extra)
+        clock = getattr(getattr(self.inner, "disk", None), "clock", None)
+        if clock is not None:
+            clock.advance(extra)
+        self.ops_slowed += 1
+        self.slow_extra_seconds += extra
+        return breakdown
 
     def _tick(self, op: str, lba: int, count: int) -> None:
         if self.crashed:
@@ -776,11 +928,13 @@ class FaultDevice(InterposedDevice):
 
     def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
         self._check_read(lba, 1)
-        return self.inner.read_block(lba)
+        data, breakdown = self.inner.read_block(lba)
+        return data, self._maybe_slow(breakdown)
 
     def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
         self._check_read(lba, count)
-        return self.inner.read_blocks(lba, count)
+        data, breakdown = self.inner.read_blocks(lba, count)
+        return data, self._maybe_slow(breakdown)
 
     def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
         return self.write_blocks(lba, 1, data)
@@ -801,10 +955,10 @@ class FaultDevice(InterposedDevice):
             keep = self.rng.randrange(count)  # 0..count-1 blocks survive
             if keep == 0:
                 return Breakdown()
-            return self.inner.write_blocks(
+            return self._maybe_slow(self.inner.write_blocks(
                 lba, keep, data[: keep * self.block_size]
-            )
-        return self.inner.write_blocks(lba, count, data)
+            ))
+        return self._maybe_slow(self.inner.write_blocks(lba, count, data))
 
     def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
         self._tick("write_partial", lba, 1)
@@ -816,7 +970,7 @@ class FaultDevice(InterposedDevice):
         if self._fire(self.plan.torn_write_rate):
             self.writes_torn += 1
             return Breakdown()
-        return self.inner.write_partial(lba, offset, data)
+        return self._maybe_slow(self.inner.write_partial(lba, offset, data))
 
 
 class DiskFaultInjector:

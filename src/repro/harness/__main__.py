@@ -28,13 +28,24 @@ Multi-host flags apply to ``figure_multihost`` (the event-engine
 scale-out sweep): ``--hosts N`` runs exactly ``N`` closed-loop host
 processes instead of the default host-count curve, and ``--disks M``
 stripes their requests across ``M`` independent device stacks.
+``--shards M`` runs the grid in sharded-volume mode instead -- the M
+stacks are fault domains, and every row carries per-shard response
+tails; ``--shard-slow SPEC`` (``shard=1,factor=8,after=20,ops=60``)
+makes one shard fail-slow for a window of requests so the report also
+measures degraded-window throughput.
 
 Resilience flags: ``--torture`` runs the composed-fault torture matrix
 (crash/torn/flaky/read-error plans over every workload; ``--full``
 widens it to the weekly multi-seed grid) instead of the experiments,
 minimizing and writing a ``torture-repro/`` artifact for any failing
-plan; ``--scrub`` prints a short flaky-media story showing retries,
-quarantine, and the idle-time scrubber migrating live data.
+plan; with ``--volume`` the matrix is the multi-shard one instead
+(shard crash / fail-slow / flaky-media fault domains composed over a
+sharded volume, checked by the volume-level fsck and the differential
+oracle); ``--scrub`` prints a short flaky-media story showing retries,
+quarantine, and the idle-time scrubber migrating live data;
+``--volume-demo`` prints a degraded-mode tour of the sharded volume
+(one shard crashes, healthy I/O keeps flowing, bounded retries, hedged
+reads against a limping shard, per-shard recovery).
 
 Examples::
 
@@ -210,6 +221,30 @@ def _print_result(name: str, result) -> None:
                  "p999 (ms)", "hidden think (s)"],
                 rows, title=f"figure_multihost: {workload}",
             ))
+            for i, per in enumerate(series.get("per_shard", [])):
+                hosts_n = int(series["hosts"][i])
+                for row in per["shards"]:
+                    line = (
+                        f"  [{hosts_n} host(s)] {row['shard']}: "
+                        f"{row['requests']} reqs, response "
+                        f"p50={row['p50_response_ms']:.3f} "
+                        f"p99={row['p99_response_ms']:.3f} "
+                        f"p999={row['p999_response_ms']:.3f}ms"
+                    )
+                    if row["ops_slowed"]:
+                        line += (
+                            f", slowed={row['ops_slowed']} "
+                            f"(+{row['slow_extra_seconds']:.4f}s)"
+                        )
+                    print(line)
+                window = per.get("degraded_window")
+                if window is not None:
+                    print(
+                        f"  [{hosts_n} host(s)] degraded window: "
+                        f"{window['seconds']:.4f}s, "
+                        f"{window['completed']} completed "
+                        f"({window['requests_per_second']:.0f} req/s)"
+                    )
             print()
     else:  # pragma: no cover - defensive
         print(result)
@@ -250,6 +285,13 @@ def main(argv=None) -> int:
     parser.add_argument("--disks", type=int, default=None, metavar="M",
                         help="stripe figure_multihost requests across M "
                              "independent device stacks (default: 1)")
+    parser.add_argument("--shards", type=int, default=None, metavar="M",
+                        help="run figure_multihost in sharded-volume mode "
+                             "across M fault domains (per-shard tails)")
+    parser.add_argument("--shard-slow", metavar="SPEC", default=None,
+                        help="make one shard fail-slow, e.g. "
+                             "'shard=1,factor=8,after=20,ops=60' "
+                             "(requires --shards)")
     parser.add_argument("--queue-depth", type=int, default=None, metavar="N",
                         help="request-queue depth for every device stack "
                              "(default: 1, the unscheduled baseline)")
@@ -260,8 +302,13 @@ def main(argv=None) -> int:
     parser.add_argument("--torture", action="store_true",
                         help="run the composed-fault torture matrix "
                              "(with --full: the weekly multi-seed grid)")
+    parser.add_argument("--volume", action="store_true",
+                        help="with --torture: run the multi-shard volume "
+                             "matrix (shard crash/slow/flaky fault domains)")
     parser.add_argument("--scrub", action="store_true",
                         help="print a flaky-media scrubbing demo")
+    parser.add_argument("--volume-demo", action="store_true",
+                        help="print a sharded-volume degraded-mode demo")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -271,6 +318,14 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 1")
     if args.scrub:
         return _run_scrub_demo()
+    if args.volume_demo:
+        return _run_volume_demo()
+    if args.volume and not args.torture:
+        parser.error("--volume requires --torture")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.shard_slow is not None and args.shards is None:
+        parser.error("--shard-slow requires --shards")
     if args.queue_depth is not None or args.sched is not None:
         depth = args.queue_depth if args.queue_depth is not None else 1
         if depth < 1:
@@ -335,6 +390,15 @@ def main(argv=None) -> int:
                     kwargs["host_counts"] = [args.hosts]
                 if args.disks is not None:
                     kwargs["disks"] = args.disks
+                if args.shards is not None:
+                    kwargs["shards"] = args.shards
+                    if args.shard_slow is not None:
+                        try:
+                            kwargs["shard_slow"] = _parse_shard_slow(
+                                args.shard_slow
+                            )
+                        except ValueError as exc:
+                            parser.error(f"--shard-slow: {exc}")
             start = time.time()
             try:
                 result = fn(**kwargs)
@@ -351,11 +415,35 @@ def main(argv=None) -> int:
     return 0
 
 
+def _parse_shard_slow(spec: str) -> dict:
+    """Parse ``shard=1,factor=8,after=20,ops=60`` into the multihost
+    ``shard_slow`` dict (``after``/``ops`` optional)."""
+    known = {"shard": int, "factor": float, "after": int, "ops": int}
+    out: dict = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, _, value = item.partition("=")
+        key = key.strip()
+        if key not in known:
+            raise ValueError(
+                f"unknown key {key!r}; known: " + ", ".join(known)
+            )
+        out[key] = known[key](value.strip())
+    for required in ("shard", "factor"):
+        if required not in out:
+            raise ValueError(f"missing required key {required!r}")
+    return out
+
+
 def _run_torture(args) -> int:
     """The composed-fault matrix; exit 1 (plus a minimized repro
     artifact) if any plan fails."""
     from repro.harness import torture
 
+    if args.volume:
+        return _run_volume_torture(args)
     points = torture.long_set() if args.full else torture.quick_set()
     print(f"torture matrix: {len(points)} plans "
           f"({'weekly' if args.full else 'quick'} set, "
@@ -393,6 +481,74 @@ def _run_torture(args) -> int:
     print(f"\nminimizing failing plan {failing['params']} "
           f"seed={failing['seed']} ...", file=sys.stderr)
     minimized = torture.minimize(failing["params"], failing["seed"])
+    path = torture.write_repro(failing, minimized)
+    print(f"failure minimized to {minimized['params']} "
+          f"({minimized['runs']} runs); repro written to {path}",
+          file=sys.stderr)
+    for line in failing["failures"][:10]:
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+def _run_volume_torture(args) -> int:
+    """The multi-shard volume matrix; exit 1 (plus a minimized repro
+    artifact) if any plan fails."""
+    from repro.harness import torture
+
+    points = (
+        torture.volume_long_set() if args.full
+        else torture.volume_quick_set()
+    )
+    print(f"volume torture matrix: {len(points)} plans "
+          f"({'weekly' if args.full else 'quick'} set, "
+          f"jobs={args.jobs})")
+    verdicts = torture.run_matrix(points)
+    rows = []
+    failing = None
+    for verdict in verdicts:
+        params = verdict["params"]
+        faults = []
+        if params.get("crash_after"):
+            faults.append(f"crash@{params.get('crash_shard')}")
+        if params.get("slow_factor", 1.0) != 1.0:
+            faults.append(
+                f"slow@{params.get('slow_shard')}"
+                f"x{params.get('slow_factor'):g}"
+            )
+        if params.get("flaky"):
+            faults.append(f"flaky@{params.get('flaky_shard')}")
+        degraded = verdict["degraded_window"]
+        window = (
+            f"{degraded.get('healthy_ok', 0)}ok/"
+            f"{degraded.get('unavailable', 0)}unavail"
+            if degraded else "-"
+        )
+        rows.append([
+            params["workload"], params["shards"],
+            ",".join(faults) or "none", verdict["seed"],
+            "ok" if verdict["ok"] else "FAIL",
+            verdict["crashed_at"] if verdict["crashed_at"] is not None
+            else "-",
+            window,
+            verdict["recovery"]["quarantined_sectors"],
+        ])
+        if failing is None and not verdict["ok"]:
+            failing = verdict
+    print(format_table(
+        ["workload", "shards", "faults", "seed", "verdict", "crash op",
+         "degraded", "quarantined"],
+        rows, title="Volume torture matrix",
+    ))
+    if failing is None:
+        print(f"\nall {len(verdicts)} plans survived: fault domains held, "
+              f"volume-fsck clean, oracle satisfied")
+        return 0
+    print(f"\nminimizing failing plan {failing['params']} "
+          f"seed={failing['seed']} ...", file=sys.stderr)
+    minimized = torture.minimize(
+        failing["params"], failing["seed"],
+        fn=torture.volume_torture_point,
+    )
     path = torture.write_repro(failing, minimized)
     print(f"failure minimized to {minimized['params']} "
           f"({minimized['runs']} runs); repro written to {path}",
@@ -449,6 +605,74 @@ def _run_scrub_demo() -> int:
           f"flaky sector is quarantined and vacated), data "
           f"{'intact' if data == bytes([5]) * vld.block_size else 'LOST'}")
     return 0
+
+
+def _run_volume_demo() -> int:
+    """A watchable tour of the sharded volume's partial-failure story:
+    one shard crashes, healthy shards keep serving, down-shard requests
+    fail fast after a bounded backoff, a limping shard draws hedged
+    reads, and recovery is per-shard."""
+    from repro.blockdev.interpose import FaultPlan
+    from repro.harness.configs import build_sharded_volume
+    from repro.volume import ShardUnavailable, volume_fsck
+
+    volume, _devices, disks = build_sharded_volume(
+        shards=3,
+        fault_plans={2: FaultPlan(seed=7, slow_factor=8.0,
+                                  slow_after_ops=120,
+                                  slow_duration_ops=260)},
+    )
+
+    def payload(lba: int) -> bytes:
+        return bytes([lba % 251]) * volume.block_size
+
+    total = 48
+    for lba in range(total):
+        volume.write_block(lba, payload(lba))
+    print(f"{volume.num_shards}-shard volume, stripe "
+          f"{volume.stripe_blocks} blocks: {total} blocks written "
+          f"(stripes round-robin across shards)")
+
+    volume.crash_shard(0)
+    clock = disks[0].clock
+    before = clock.now
+    served = failed = 0
+    for lba in range(total):
+        try:
+            data, _ = volume.read_block(lba)
+            assert data == payload(lba)
+            served += 1
+        except ShardUnavailable as fault:
+            assert fault.shard == 0
+            failed += 1
+    print(f"shard 0 crashed; reading all {total} blocks: {served} served "
+          f"by healthy shards, {failed} failed fast with ShardUnavailable "
+          f"after {clock.now - before:.4f}s of bounded retry backoff")
+
+    limping = [
+        lba for lba in range(total) if volume.shard_of(lba)[0] == 2
+    ]
+    for _ in range(30):
+        for lba in limping:
+            volume.read_block(lba)
+    monitor = volume.monitors[2]
+    print(f"shard 2 limps through an 8x fail-slow window: health monitor "
+          f"tripped={monitor.tripped} (baseline p99 "
+          f"{(monitor.baseline_p99 or 0) * 1e3:.3f}ms, rolling p99 "
+          f"{(monitor.rolling_p99() or 0) * 1e3:.3f}ms); "
+          f"{volume.hedged_reads[2]} reads hedged")
+
+    outcome = volume.recover_shard(0)
+    report = volume_fsck(volume, deep=True)
+    intact = sum(
+        1 for lba in range(total)
+        if volume.read_block(lba)[0] == payload(lba)
+    )
+    print(f"shard 0 recovered independently "
+          f"(power record: {outcome.used_power_down_record}, scanned: "
+          f"{outcome.scanned}); {report.summary()}; "
+          f"{intact}/{total} blocks intact")
+    return 0 if (report.ok and intact == total) else 1
 
 
 def _report_sweep_stats(args, name: str) -> None:

@@ -172,6 +172,66 @@ def build_stack(
     return fs, disk, device
 
 
+def build_sharded_volume(
+    shards: int = 3,
+    disk_name: str = "st19101",
+    stripe_blocks: int = 8,
+    num_cylinders: int = 6,
+    queue_depth: int = 1,
+    sched: str = "fifo",
+    fault_plans: Optional[dict] = None,
+    retry_policy: Optional[object] = None,
+    hedge_reads: bool = True,
+):
+    """Instantiate a :class:`~repro.volume.ShardedVolume` over ``shards``
+    complete VLD stacks.
+
+    Encodes the construction discipline the volume requires: every
+    shard's disk shares ONE :class:`~repro.sim.clock.SimClock`, so
+    degraded-mode backoff, fail-slow surplus, and hedged reads all spend
+    the same simulated time (per-disk clocks would let a limping shard
+    fall out of sync with its siblings).  ``fault_plans`` maps shard
+    index to a :class:`FaultPlan`; those shards get a
+    :class:`~repro.blockdev.interpose.FaultDevice` wrapper (the layer
+    ``crash()``/fail-slow windows act on).
+
+    Returns ``(volume, devices, disks)`` -- ``devices[i]`` is shard
+    ``i``'s outermost layer, ``disks[i]`` its raw disk (the place to
+    hang a :class:`~repro.disk.faults.DiskFaultInjector`).
+    """
+    # Imported lazily: repro.volume sits above this module in the layer
+    # order, and only volume experiments should pay for it.
+    from repro.blockdev.interpose import FaultDevice
+    from repro.sim.clock import SimClock
+    from repro.vlog.vld import VirtualLogDisk
+    from repro.volume import ShardedVolume
+
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    spec: DiskSpec = DISKS[disk_name]
+    clock = SimClock()
+    disks = [
+        Disk(spec, clock=clock, num_cylinders=num_cylinders)
+        for _ in range(shards)
+    ]
+    devices: List[BlockDevice] = []
+    for index, disk in enumerate(disks):
+        vld: BlockDevice = VirtualLogDisk(
+            disk, queue_depth=queue_depth, sched=sched
+        )
+        plan = (fault_plans or {}).get(index)
+        if plan is not None:
+            vld = FaultDevice(vld, plan)
+        devices.append(vld)
+    volume = ShardedVolume(
+        devices,
+        stripe_blocks=stripe_blocks,
+        retry_policy=retry_policy,
+        hedge_reads=hedge_reads,
+    )
+    return volume, devices, disks
+
+
 def drain_metrics_stacks() -> List[Tuple[str, MetricsDevice]]:
     """Return and clear the registry of metrics-enabled stacks."""
     drained = list(METRICS_STACKS)

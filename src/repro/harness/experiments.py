@@ -725,6 +725,8 @@ def _point_multihost(
     workload: str,
     policy: str,
     think_us: float,
+    shards: Optional[int] = None,
+    shard_slow: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     # Imported lazily: repro.hosts initializes before the harness, and
     # the fork workers only pay for the driver when they run this point.
@@ -739,6 +741,8 @@ def _point_multihost(
         workload=workload,
         policy=policy,
         seed=seed,
+        shards=shards,
+        shard_slow=shard_slow,
     )
     report.pop("trace", None)
     return report
@@ -753,7 +757,9 @@ def figure_multihost(
     policy: str = "fifo",
     disk_name: str = "st19101",
     seed: int = 3,
-) -> Dict[str, Dict[str, List[float]]]:
+    shards: Optional[int] = None,
+    shard_slow: Optional[Dict[str, object]] = None,
+) -> Dict[str, Dict[str, object]]:
     """Throughput and tail latency vs host count on the event engine.
 
     The scale-out counterpart of ``figure_qdepth``: instead of one host
@@ -761,28 +767,36 @@ def figure_multihost(
     device stacks.  Reports mean and p99/p999 response time (queueing
     shows in the tail first), throughput, and the exactly-measured
     think/service overlap per host count.
+
+    With ``shards=N`` the grid runs in sharded-volume mode (the N-hosts
+    x M-shards grid): each row additionally carries the per-shard
+    response tails, and ``shard_slow`` injects a fail-slow window into
+    one shard so the degraded-window throughput rides along.
     """
     if host_counts is None:
         host_counts = [1, 2, 4, 8]
+    params: Dict[str, object] = {
+        "disk_name": disk_name,
+        "disks": disks,
+        "requests_per_host": requests_per_host,
+        "policy": policy,
+        "think_us": think_us,
+    }
+    if shards is not None:
+        params["shards"] = shards
+        if shard_slow is not None:
+            params["shard_slow"] = dict(shard_slow)
     points = [
         SweepPoint(
             f"{_HERE}:_point_multihost",
-            {
-                "disk_name": disk_name,
-                "hosts": hosts,
-                "disks": disks,
-                "requests_per_host": requests_per_host,
-                "workload": workload,
-                "policy": policy,
-                "think_us": think_us,
-            },
+            {**params, "hosts": hosts, "workload": workload},
             seed,
         )
         for workload in workloads
         for hosts in host_counts
     ]
     values = iter(sweep_values(points))
-    result: Dict[str, Dict[str, List[float]]] = {}
+    result: Dict[str, Dict[str, object]] = {}
     for workload in workloads:
         runs = [next(values) for _ in host_counts]
         result[workload] = {
@@ -799,4 +813,6 @@ def figure_multihost(
             ],
             "elapsed_seconds": [float(r["elapsed_seconds"]) for r in runs],
         }
+        if shards is not None:
+            result[workload]["per_shard"] = [r["per_shard"] for r in runs]
     return result

@@ -32,12 +32,19 @@ import struct
 import zlib
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.blockdev.interpose import DeviceCrashed, DiskFaultInjector
+from repro.blockdev.interpose import (
+    DeviceCrashed,
+    DiskFaultInjector,
+    FaultDevice,
+    FaultPlan,
+)
 from repro.disk.disk import Disk
 from repro.disk.specs import ST19101
 from repro.harness.sweep import SweepPoint, run_sweep
+from repro.sim.clock import SimClock
 from repro.vlog.resilience import MediaError, vlfsck
 from repro.vlog.vld import VirtualLogDisk
+from repro.volume import ShardUnavailable, ShardedVolume, volume_fsck
 
 #: Logical span the workloads touch (blocks); small enough that every
 #: point runs in a couple of seconds, large enough to span many tracks.
@@ -402,6 +409,408 @@ def torture_point(
 
 
 # ======================================================================
+# One *volume* torture point: multi-shard composed plans
+# ======================================================================
+
+#: Ops driven at the volume while one shard is down, proving healthy
+#: shards keep serving and down-shard requests fail *boundedly*.
+DEGRADED_OPS = 24
+
+
+def volume_torture_point(
+    workload: str = "small_writes",
+    ops: int = 140,
+    shards: int = 3,
+    stripe_blocks: int = 8,
+    crash_shard: Optional[int] = None,
+    crash_after: Optional[int] = None,
+    torn: bool = True,
+    slow_shard: Optional[int] = None,
+    slow_factor: float = 1.0,
+    slow_after: Optional[int] = None,
+    slow_ops: Optional[int] = None,
+    flaky_shard: Optional[int] = None,
+    flaky: int = 0,
+    flaky_rate: float = 0.0,
+    read_error_rate: float = 0.0,
+    queue_depth: int = 1,
+    sched: str = "fifo",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One multi-shard composed-fault scenario, end to end.
+
+    Fault domains are per shard: the crash injector arms only
+    ``crash_shard``'s raw disk, the fail-slow plan wraps only
+    ``slow_shard``'s stack, flaky sectors degrade only ``flaky_shard``.
+    After the crash the harness keeps driving the volume through a
+    *degraded window* -- ops that touch only healthy shards must
+    succeed; ops needing the down shard must fail with the bounded
+    :class:`ShardUnavailable`, never hang -- then recovers **only** the
+    crashed shard, runs the volume-level fsck (deep), and audits every
+    block differentially, exactly like the single-device point.
+    """
+    import random
+
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; "
+                         f"try one of {sorted(WORKLOADS)}")
+    rng = random.Random(seed)
+    clock = SimClock()
+    disks = [
+        Disk(ST19101, clock=clock, num_cylinders=6) for _ in range(shards)
+    ]
+    devices: List[Any] = []
+    for index, disk in enumerate(disks):
+        vld = VirtualLogDisk(disk, queue_depth=queue_depth, sched=sched)
+        if index == slow_shard and slow_factor > 1.0:
+            devices.append(FaultDevice(vld, FaultPlan(
+                seed=seed,
+                slow_factor=slow_factor,
+                slow_after_ops=slow_after,
+                slow_duration_ops=slow_ops,
+            )))
+        else:
+            devices.append(vld)
+    volume = ShardedVolume(devices, stripe_blocks=stripe_blocks)
+    oracle = _Oracle(volume.block_size, seed)
+    failures: List[str] = []
+
+    flaky_sectors: Dict[int, float] = {}
+    crash_injector: Optional[DiskFaultInjector] = None
+    if crash_shard is not None and crash_after is not None:
+        crash_injector = DiskFaultInjector(
+            crash_after_writes=crash_after,
+            torn=torn,
+            read_error_rate=read_error_rate,
+            seed=seed,
+        ).install(disks[crash_shard])
+    flaky_injector: Optional[DiskFaultInjector] = None
+
+    def read_block(lba: int) -> Optional[bytes]:
+        for _ in range(HARNESS_READ_RETRIES):
+            try:
+                data, _cost = volume.read_block(lba)
+                return data
+            except MediaError:
+                continue
+        return None
+
+    #: lba -> versions a failed request *may* have left on the down
+    #: shard (old remains acceptable too).  Kept outside the oracle so a
+    #: later successful op's ``ack()`` cannot commit them by mistake;
+    #: the post-recovery audit folds them back in as candidates.
+    frozen: Dict[int, List[int]] = {}
+
+    def resolve_pending(down: Optional[int]) -> None:
+        """After a mid-stripe-write failure, settle the oracle's pending
+        versions: blocks on *healthy* shards read back immediately (each
+        sub-write either fully committed or never issued); blocks on the
+        down shard freeze as acceptable candidates for the
+        post-recovery audit."""
+        for lba in sorted(oracle.pending):
+            version = oracle.pending.pop(lba)
+            shard, _ = volume.shard_of(lba)
+            if shard == down:
+                frozen.setdefault(lba, []).append(version)
+                continue
+            actual = read_block(lba)
+            if actual is None:
+                failures.append(
+                    f"degraded resolve: lba {lba} unreadable on a "
+                    f"healthy shard"
+                )
+                continue
+            for candidate in (oracle.committed.get(lba, 0), version):
+                if actual == _payload(volume.block_size, lba, candidate,
+                                      seed):
+                    oracle.committed[lba] = candidate
+                    break
+            else:
+                failures.append(
+                    f"degraded resolve: lba {lba} matches none of the "
+                    f"acceptable versions"
+                )
+
+    def audit() -> None:
+        """Post-recovery differential audit over every touched block,
+        accepting old-or-any-frozen for blocks whose writes the down
+        shard interrupted."""
+        touched = (
+            set(oracle.committed) | set(oracle.pending) | set(frozen)
+        )
+        for lba in sorted(touched):
+            actual = read_block(lba)
+            if actual is None:
+                failures.append(f"lba {lba}: unreadable after retries")
+                continue
+            candidates = [oracle.committed.get(lba, 0)]
+            if lba in oracle.pending:
+                candidates.append(oracle.pending[lba])
+            candidates.extend(frozen.get(lba, ()))
+            for version in candidates:
+                if actual == _payload(volume.block_size, lba, version,
+                                      seed):
+                    oracle.committed[lba] = version
+                    break
+            else:
+                failures.append(
+                    f"lba {lba}: contents match none of the acceptable "
+                    f"versions {candidates}"
+                )
+        oracle.pending.clear()
+        frozen.clear()
+
+    degraded_stats = {"ops": 0, "unavailable": 0, "healthy_ok": 0}
+
+    def run_ops(op_iter: Iterator[Op], budget: int,
+                down: Optional[int] = None) -> int:
+        """Drive ``budget`` volume ops; returns the index of the op a
+        *new* shard crash interrupted, or -1.  With ``down`` set (the
+        degraded window), :class:`ShardUnavailable` against that shard
+        is the expected bounded error; against any other shard it is a
+        failure."""
+        for index in range(budget):
+            op, lba, arg = next(op_iter)
+            if down is not None:
+                degraded_stats["ops"] += 1
+            try:
+                if op == "write":
+                    data = oracle.begin_write(lba, int(arg))
+                    volume.write_blocks(lba, int(arg), data)
+                    oracle.ack()
+                elif op == "trim":
+                    oracle.begin_trim(lba, int(arg))
+                    volume.trim(lba, int(arg))
+                    oracle.ack()
+                elif op == "idle":
+                    volume.idle(float(arg))
+                else:  # read
+                    count = int(arg)
+                    actual = None
+                    for _ in range(HARNESS_READ_RETRIES):
+                        try:
+                            actual, _cost = volume.read_blocks(lba, count)
+                            break
+                        except MediaError:
+                            continue
+                    if actual is None:
+                        failures.append(
+                            f"op {index}: read lba {lba} x{count} stayed "
+                            f"unreadable through retries"
+                        )
+                        continue
+                    for i in range(count):
+                        piece = actual[i * volume.block_size:
+                                       (i + 1) * volume.block_size]
+                        if piece != oracle.expected(lba + i):
+                            failures.append(
+                                f"op {index}: read lba {lba + i} returned "
+                                f"stale or corrupt contents"
+                            )
+                if down is not None:
+                    degraded_stats["healthy_ok"] += 1
+            except ShardUnavailable as fault:
+                if down is None:
+                    # The crash moment itself: the volume turned the
+                    # shard's DeviceCrashed into a bounded error.
+                    resolve_pending(fault.shard)
+                    return index
+                degraded_stats["unavailable"] += 1
+                if fault.shard != down:
+                    failures.append(
+                        f"degraded op {index}: shard {fault.shard} "
+                        f"unavailable but only shard {down} is down"
+                    )
+                resolve_pending(down)
+            except DeviceCrashed:
+                # Should not escape the volume -- it maps crashes to
+                # ShardUnavailable -- but never let the harness hang on
+                # the difference.
+                failures.append(
+                    f"op {index}: raw DeviceCrashed escaped the volume"
+                )
+                return index
+        return -1
+
+    # Warmup (fault-free on flaky terms), then seed flaky sectors under
+    # the flaky shard's live footprint, then the main faulted phase.
+    op_iter = WORKLOADS[workload](random.Random(seed ^ 0x5EED))
+    warmup = min(8, ops // 4)
+    crashed_at = run_ops(op_iter, warmup)
+    if crashed_at < 0:
+        if flaky_shard is not None and flaky:
+            flaky_sectors.update(_pick_flaky(
+                rng, devices[flaky_shard], flaky, flaky_rate
+            ))
+            flaky_injector = DiskFaultInjector(
+                seed=seed,
+                flaky_sectors=flaky_sectors,
+            ).install(disks[flaky_shard])
+        rest = run_ops(op_iter, ops - warmup)
+        crashed_at = -1 if rest < 0 else warmup + rest
+    crashed = crashed_at >= 0
+
+    # ------------------------------------------------------------------
+    # Degraded window: one shard down, siblings must keep serving.
+    # ------------------------------------------------------------------
+    down_shard: Optional[int] = None
+    if crashed:
+        down = [
+            i for i, state in enumerate(volume.states)
+            if state.value == "down"
+        ]
+        if len(down) != 1 or (
+            crash_shard is not None and down != [crash_shard]
+        ):
+            failures.append(
+                f"fault containment broken: down shards {down}, "
+                f"expected [{crash_shard}]"
+            )
+        down_shard = down[0] if down else crash_shard
+        run_ops(op_iter, DEGRADED_OPS, down=down_shard)
+
+    # ------------------------------------------------------------------
+    # Clear crash machinery (media degradation persists), recover ONLY
+    # the crashed shard -- or the whole volume after an orderly stop.
+    # ------------------------------------------------------------------
+    if crash_injector is not None:
+        crash_injector.uninstall(disks[crash_shard])
+    if flaky_injector is not None:
+        flaky_injector.uninstall(disks[flaky_shard])
+        flaky_injector = DiskFaultInjector(
+            seed=seed + 1,
+            flaky_sectors=flaky_sectors,
+        ).install(disks[flaky_shard])
+    if crashed and down_shard is not None:
+        outcome = volume.recover_shard(down_shard)
+        recovery = {
+            "shard": down_shard,
+            "used_power_down_record": outcome.used_power_down_record,
+            "scanned": outcome.scanned,
+            "degraded": outcome.degraded,
+            "reconstructed": outcome.reconstructed,
+            "media_errors": outcome.media_errors,
+            "quarantined_sectors": outcome.quarantined_sectors,
+        }
+    else:
+        volume.power_down()
+        volume.crash()
+        outcomes = volume.recover()
+        recovery = {
+            "shard": None,
+            "used_power_down_record": all(
+                o.used_power_down_record for o in outcomes
+            ),
+            "scanned": any(o.scanned for o in outcomes),
+            "degraded": any(o.degraded for o in outcomes),
+            "reconstructed": any(o.reconstructed for o in outcomes),
+            "media_errors": sum(o.media_errors for o in outcomes),
+            "quarantined_sectors": sum(
+                o.quarantined_sectors for o in outcomes
+            ),
+        }
+
+    report = volume_fsck(volume, deep=True)
+    if not report.ok:
+        for violation in report.violations:
+            failures.append(
+                f"volume-fsck: {violation.kind}: {violation.detail}"
+            )
+    audit()
+
+    # ------------------------------------------------------------------
+    # Keep going: the recovered volume must be fully serviceable.
+    # ------------------------------------------------------------------
+    if run_ops(op_iter, CONTINUE_OPS) >= 0:
+        failures.append("continue phase crashed with no injector armed")
+    volume.idle(0.2)  # scrubber windows, per healthy shard
+    final = volume_fsck(volume, deep=True)
+    if not final.ok:
+        for violation in final.violations:
+            failures.append(
+                f"final volume-fsck: {violation.kind}: {violation.detail}"
+            )
+    audit()
+
+    return {
+        "ok": not failures,
+        "failures": failures,
+        "workload": workload,
+        "ops": ops,
+        "shards": shards,
+        "crashed_at": crashed_at if crashed else None,
+        "down_shard": down_shard,
+        "degraded_window": dict(degraded_stats),
+        "recovery": recovery,
+        "shard_stats": volume.shard_stats(),
+    }
+
+
+#: Multi-shard fault families: one shard crashes mid-stripe-write,
+#: another limps through a fail-slow window, a third degrades its media
+#: -- each fault stays inside its domain.  ``@depth4`` runs every shard
+#: on a depth-4 SATF queue (the CI quick-set plan).
+VOLUME_FAMILIES: Dict[str, Dict[str, Any]] = {
+    "shard-crash": dict(
+        ops=140, shards=3, crash_shard=0, crash_after=40, torn=False,
+    ),
+    "shard-crash+torn": dict(
+        ops=140, shards=3, crash_shard=1, crash_after=35, torn=True,
+    ),
+    # The slow onset sits past the health monitor's 32-sample baseline,
+    # so "normal" is learned from genuinely normal latencies and the
+    # fail-slow window actually trips the detector (hedged reads engage).
+    "shard-crash+slow@depth4": dict(
+        ops=160, shards=3, crash_shard=0, crash_after=45, torn=True,
+        slow_shard=1, slow_factor=8.0, slow_after=60, slow_ops=400,
+        queue_depth=4, sched="satf",
+    ),
+    "shard-composed": dict(
+        ops=160, shards=4, crash_shard=0, crash_after=50, torn=True,
+        slow_shard=1, slow_factor=6.0, slow_after=60, slow_ops=400,
+        flaky_shard=2, flaky=4, flaky_rate=0.4,
+    ),
+}
+
+#: The volume quick set runs a workload subset (the full cross product
+#: is the weekly grid's job): sequential bait for mid-stripe tears,
+#: small writes for the common path, bursty idle for scrub/compact
+#: during the fault window.
+VOLUME_QUICK_WORKLOADS = ("small_writes", "sequential", "bursty_idle")
+
+
+def volume_matrix(
+    seeds: Tuple[int, ...] = (0,),
+    workloads: Optional[List[str]] = None,
+    families: Optional[List[str]] = None,
+) -> List[SweepPoint]:
+    """The (workload x shard-fault-family x seed) grid as sweep points."""
+    points: List[SweepPoint] = []
+    for name in workloads or sorted(WORKLOADS):
+        for family in families or sorted(VOLUME_FAMILIES):
+            for seed in seeds:
+                params = dict(VOLUME_FAMILIES[family], workload=name)
+                points.append(SweepPoint(
+                    fn_name="repro.harness.torture:volume_torture_point",
+                    params=params,
+                    seed=seed,
+                ))
+    return points
+
+
+def volume_quick_set() -> List[SweepPoint]:
+    """The CI quick matrix: bounded workload subset, every family."""
+    return volume_matrix(
+        seeds=(0,), workloads=list(VOLUME_QUICK_WORKLOADS)
+    )
+
+
+def volume_long_set() -> List[SweepPoint]:
+    """The weekly matrix: every workload, more seeds."""
+    return volume_matrix(seeds=tuple(range(4)))
+
+
+# ======================================================================
 # The matrix
 # ======================================================================
 
@@ -472,20 +881,24 @@ def run_matrix(points: List[SweepPoint],
 # ======================================================================
 
 def minimize(params: Dict[str, Any], seed: int,
-             runs_budget: int = 40) -> Dict[str, Any]:
+             runs_budget: int = 40,
+             fn: Callable[..., Dict[str, Any]] = torture_point,
+             ) -> Dict[str, Any]:
     """Shrink a failing fault plan to the smallest one that still fails.
 
     Greedy halving on ``ops`` first (fewer ops = less log to read in the
     repro), then on ``crash_after``; failure need not be monotone in
     either, so each halving step is *verified* by re-running the point
-    and abandoned when the smaller plan passes.
+    and abandoned when the smaller plan passes.  ``fn`` selects the
+    point function (:func:`torture_point` or
+    :func:`volume_torture_point`); the same shrink keys apply to both.
     """
     runs = 0
 
     def fails(candidate: Dict[str, Any]) -> bool:
         nonlocal runs
         runs += 1
-        return not torture_point(seed=seed, **candidate)["ok"]
+        return not fn(seed=seed, **candidate)["ok"]
 
     if not fails(params):
         raise ValueError("minimize() needs a failing plan to start from")
@@ -499,7 +912,12 @@ def minimize(params: Dict[str, Any], seed: int,
                 value = best[key]
             else:
                 break
-    return {"params": best, "seed": seed, "runs": runs}
+    return {
+        "params": best,
+        "seed": seed,
+        "runs": runs,
+        "fn": f"{fn.__module__}:{fn.__name__}",
+    }
 
 
 def write_repro(verdict: Dict[str, Any], minimized: Dict[str, Any],
@@ -507,24 +925,30 @@ def write_repro(verdict: Dict[str, Any], minimized: Dict[str, Any],
     """Drop a self-contained reproduction recipe for one failure."""
     os.makedirs(directory, exist_ok=True)
     params, seed = minimized["params"], minimized["seed"]
+    fn_ref = minimized.get(
+        "fn", "repro.harness.torture:torture_point"
+    )
+    fn_name = fn_ref.rsplit(":", 1)[-1]
     call = ", ".join(
         [f"{k}={v!r}" for k, v in sorted(params.items())] + [f"seed={seed}"]
     )
     artifact = {
-        "fn": "repro.harness.torture:torture_point",
+        "fn": fn_ref,
         "params": params,
         "seed": seed,
         "failures": verdict["failures"],
         "original_params": verdict["params"],
         "reproduce": (
             "PYTHONPATH=src python -c \"from repro.harness.torture import "
-            f"torture_point; import json; "
-            f"print(json.dumps(torture_point({call}), indent=2))\""
+            f"{fn_name}; import json; "
+            f"print(json.dumps({fn_name}({call}), indent=2))\""
         ),
     }
     name = "-".join(
         str(params.get(k, "")) for k in ("workload", "ops", "crash_after")
     )
+    if "shards" in params:
+        name = f"volume-{name}"
     path = os.path.join(directory, f"torture-{name}-seed{seed}.json")
     with open(path, "w", encoding="utf-8") as sink:
         json.dump(artifact, sink, indent=2, sort_keys=True)

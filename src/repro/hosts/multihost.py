@@ -27,7 +27,7 @@ host.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.disk.disk import Disk
 from repro.disk.specs import DiskSpec
@@ -49,6 +49,8 @@ def run_multihost(
     seed: int = 3,
     num_cylinders: int = 0,
     trace: bool = False,
+    shards: Optional[int] = None,
+    shard_slow: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Drive ``hosts`` closed-loop writers against ``disks`` device stacks.
 
@@ -67,12 +69,31 @@ def run_multihost(
     intersection; zero for one host at depth 1, positive once hosts
     overlap each other's service).  With ``trace=True`` the full
     ``(time, seq, name)`` event trace rides along for determinism diffs.
+
+    Sharded mode (``shards=N``): the disk bank is interpreted as the N
+    fault domains of a sharded volume -- same striping, but the report
+    gains a ``per_shard`` section (per-shard request counts and
+    response-time tails) and, when ``shard_slow`` marks one shard
+    fail-slow (``{"shard": i, "factor": f, "after": a, "ops": n}`` --
+    a window of serviced-request ordinals, mirroring the block-layer
+    ``slow`` fault family), a ``degraded_window`` section measuring
+    completed requests, throughput, and per-shard busy time *inside*
+    the limping window.  ``shards`` replaces ``disks``; the non-sharded
+    report keys are unchanged (the identity tests stay pinned).
     """
     if workload not in QUEUE_WORKLOADS:
         raise ValueError(
             f"unknown workload {workload!r}; known: "
             + ", ".join(QUEUE_WORKLOADS)
         )
+    if shards is not None:
+        if disks != 1:
+            raise ValueError("pass shards= or disks=, not both")
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        disks = shards
+    elif shard_slow is not None:
+        raise ValueError("shard_slow requires shards=")
     if hosts <= 0 or disks <= 0:
         raise ValueError("host and disk counts must be positive")
     if requests_per_host <= 0:
@@ -87,8 +108,22 @@ def run_multihost(
     schedulers = [
         DiskScheduler(disk, policy=policy, queue_depth=1) for disk in stacks
     ]
+    bank = "shard" if shards is not None else "disk"
     for index, scheduler in enumerate(schedulers):
-        scheduler.attach_engine(engine, name=f"disk{index}")
+        scheduler.attach_engine(engine, name=f"{bank}{index}")
+    if shard_slow is not None:
+        slow_shard = int(shard_slow["shard"])  # type: ignore[arg-type]
+        if not 0 <= slow_shard < disks:
+            raise ValueError(f"shard_slow shard {slow_shard} out of range")
+        schedulers[slow_shard].set_slow_window(
+            float(shard_slow["factor"]),  # type: ignore[arg-type]
+            after_ops=int(shard_slow.get("after", 0)),  # type: ignore[arg-type]
+            duration_ops=(
+                int(shard_slow["ops"])  # type: ignore[arg-type]
+                if shard_slow.get("ops") is not None
+                else None
+            ),
+        )
 
     # One addressable stripe unit per aligned run, across all disks:
     # target t lives on disk t % disks at aligned run t // disks.
@@ -131,7 +166,10 @@ def run_multihost(
         scheduler.close()
     engine.run()  # let the disk processes terminate
 
-    return _report(engine, schedulers, hosts, disks, requests_per_host, trace)
+    return _report(
+        engine, schedulers, hosts, disks, requests_per_host, trace,
+        shards=shards,
+    )
 
 
 def _per_host_thinks(
@@ -157,6 +195,7 @@ def _report(
     disks: int,
     requests_per_host: int,
     trace: bool,
+    shards: Optional[int] = None,
 ) -> Dict[str, object]:
     service = LatencyHistogram()
     response = LatencyHistogram()
@@ -199,9 +238,64 @@ def _report(
         report[f"{name}_service_ms"] = value * 1e3
     for name, value in response_pct.items():
         report[f"{name}_response_ms"] = value * 1e3
+    if shards is not None:
+        report["shards"] = shards
+        report["per_shard"] = _per_shard_report(engine, schedulers)
     if trace and engine.trace is not None:
         report["trace"] = engine.trace.as_tuples()
     return report
+
+
+def _per_shard_report(
+    engine: EventEngine, schedulers: List[DiskScheduler]
+) -> Dict[str, object]:
+    """Per-shard tails, plus degraded-window accounting when one shard
+    ran fail-slow (its slow span is the window; healthy shards' busy
+    time and completions are clipped to it)."""
+    window: Optional[Tuple[float, float]] = None
+    for scheduler in schedulers:
+        if scheduler.slow_span is not None:
+            window = (scheduler.slow_span[0], scheduler.slow_span[1])
+            break
+    rows: List[Dict[str, object]] = []
+    for scheduler in schedulers:
+        pct = scheduler.response_times.percentiles()
+        row: Dict[str, object] = {
+            "shard": scheduler.name,
+            "requests": scheduler.serviced,
+            "busy_seconds": scheduler.busy_seconds,
+            "ops_slowed": scheduler.ops_slowed,
+            "slow_extra_seconds": scheduler.slow_extra_seconds,
+            "mean_response_ms": scheduler.response_times.mean() * 1e3,
+        }
+        for name, value in pct.items():
+            row[f"{name}_response_ms"] = value * 1e3
+        if window is not None:
+            row["busy_in_window_seconds"] = engine.intervals.total_within(
+                "service", window, scheduler.name
+            )
+            row["completed_in_window"] = sum(
+                1
+                for at in scheduler.completion_times
+                if window[0] <= at <= window[1]
+            )
+        rows.append(row)
+    out: Dict[str, object] = {"shards": rows}
+    if window is not None:
+        seconds = window[1] - window[0]
+        completed = sum(
+            int(row["completed_in_window"]) for row in rows  # type: ignore[arg-type]
+        )
+        out["degraded_window"] = {
+            "start": window[0],
+            "end": window[1],
+            "seconds": seconds,
+            "completed": completed,
+            "requests_per_second": (
+                completed / seconds if seconds > 0 else 0.0
+            ),
+        }
+    return out
 
 
 def format_report(report: Dict[str, object]) -> str:
@@ -239,4 +333,27 @@ def format_report(report: Dict[str, object]) -> str:
             )
         ),
     ]
+    per_shard = report.get("per_shard")
+    if isinstance(per_shard, dict):
+        for row in per_shard["shards"]:
+            line = (
+                f"{row['shard']}: {row['requests']} reqs "
+                f"response p50={float(row['p50_response_ms']):.3f} "
+                f"p99={float(row['p99_response_ms']):.3f} "
+                f"p999={float(row['p999_response_ms']):.3f}ms "
+                f"busy={float(row['busy_seconds']):.4f}s"
+            )
+            if row["ops_slowed"]:
+                line += (
+                    f" slowed={row['ops_slowed']} "
+                    f"(+{float(row['slow_extra_seconds']):.4f}s)"
+                )
+            lines.append(line)
+        window = per_shard.get("degraded_window")
+        if window is not None:
+            lines.append(
+                f"degraded window: {float(window['seconds']):.4f}s, "
+                f"{window['completed']} completed "
+                f"({float(window['requests_per_second']):.0f} req/s)"
+            )
     return "\n".join(lines)

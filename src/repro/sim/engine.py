@@ -361,6 +361,24 @@ class IntervalRecorder:
     def total(self, kind: str, key: Optional[str] = None) -> float:
         return sum(end - start for start, end in self.merged(kind, key))
 
+    def total_within(
+        self,
+        kind: str,
+        window: Tuple[float, float],
+        key: Optional[str] = None,
+    ) -> float:
+        """Seconds of ``kind`` activity clipped to ``window`` -- the
+        "how busy was this disk during the degraded window" question,
+        answered by exact interval arithmetic."""
+        lo, hi = window
+        if hi <= lo:
+            return 0.0
+        return sum(
+            min(end, hi) - max(start, lo)
+            for start, end in self.merged(kind, key)
+            if min(end, hi) > max(start, lo)
+        )
+
     def overlap(
         self,
         kind_a: str,

@@ -249,6 +249,10 @@ class RecoveryOutcome:
     media_errors: int = 0
     #: Quarantined sectors restored from the recovered table.
     quarantined_sectors: int = 0
+    #: Stale (free) sectors retired *conservatively* because they stayed
+    #: unreadable during recovery -- the defence against silently losing
+    #: the quarantine when its youngest on-disk record is itself dead.
+    conservatively_quarantined: int = 0
 
     @property
     def elapsed(self) -> float:

@@ -516,9 +516,11 @@ class VirtualLogDisk(BlockDevice):
         )
         return breakdown
 
-    def _record_reader(self, timed: bool):
+    def _record_reader(self, timed: bool, dead_runs=None):
         """Fault-tolerant record reader for the recovery traversal:
-        ``None`` for a run that stays unreadable after retries."""
+        ``None`` for a run that stays unreadable after retries (the run
+        is noted in ``dead_runs`` when given, for post-rebuild
+        conservative quarantine)."""
         resilience = self.resilience
         assert resilience is not None
 
@@ -528,11 +530,13 @@ class VirtualLogDisk(BlockDevice):
                     sector, count, breakdown, timed=timed
                 )
             except MediaError:
+                if dead_runs is not None:
+                    dead_runs.append((sector, count))
                 return None
 
         return reader
 
-    def _track_reader(self, timed: bool):
+    def _track_reader(self, timed: bool, dead_runs=None):
         """Fault-tolerant *track* reader for the scan paths: a failed
         track read is re-driven record by record, zero-filling only the
         runs that stay dead, so one bad sector costs one record, not a
@@ -561,6 +565,8 @@ class VirtualLogDisk(BlockDevice):
                             )
                         )
                     except MediaError:
+                        if dead_runs is not None:
+                            dead_runs.append((sector + offset, piece))
                         pieces.append(bytes(piece * sector_bytes))
                 return b"".join(pieces)
 
@@ -601,11 +607,19 @@ class VirtualLogDisk(BlockDevice):
         else:
             record, read_cost = self.power_store.read(timed)
             breakdown.add(read_cost)
+        #: Sector runs that stayed unreadable during this recovery; after
+        #: the space rebuild, dead runs that turn out *stale* (free) are
+        #: conservatively quarantined -- the case that matters is the
+        #: youngest QUARANTINE record dying on scan, whose own sectors
+        #: must not be silently returned to the allocator.
+        dead_runs: List[Tuple[int, int]] = []
         record_reader = (
-            self._record_reader(timed) if resilience is not None else None
+            self._record_reader(timed, dead_runs)
+            if resilience is not None else None
         )
         track_reader = (
-            self._track_reader(timed) if resilience is not None else None
+            self._track_reader(timed, dead_runs)
+            if resilience is not None else None
         )
 
         def scan():
@@ -713,6 +727,26 @@ class VirtualLogDisk(BlockDevice):
             # blanket mark_free below then skips retired sectors itself.
             resilience.load_quarantine(quarantine_chunks)
         self._rebuild_space_state()
+        # Conservative quarantine: a sector that stayed unreadable during
+        # recovery and is *free* in the rebuilt map holds only stale data
+        # (e.g. a superseded -- or the lost youngest -- quarantine
+        # record).  Nothing will ever re-read it, so no later access
+        # would re-discover the defect: retire it now, before the
+        # allocator can hand it out.  Dead sectors that are *live* keep
+        # their data reachable and are queued as suspects instead, for
+        # the scrubber's salvage-then-migrate path.
+        conservatively_quarantined = 0
+        if resilience is not None and dead_runs:
+            for run_start, run_count in dead_runs:
+                for s in range(run_start, run_start + run_count):
+                    if self.freemap.is_quarantined(s):
+                        continue
+                    if self.freemap.is_free(s):
+                        if resilience.quarantine_sector(s):
+                            conservatively_quarantined += 1
+                    else:
+                        resilience.note_suspect(s)
+            breakdown.add(resilience.persist_quarantine(timed))
         # Reachability repair was deferred past the space rebuild: its
         # relocation appends allocate blocks, which is only safe once the
         # free map knows where the recovered live data sits.
@@ -734,6 +768,7 @@ class VirtualLogDisk(BlockDevice):
             quarantined_sectors=(
                 len(resilience.quarantine) if resilience is not None else 0
             ),
+            conservatively_quarantined=conservatively_quarantined,
         )
 
     def crash(self) -> None:

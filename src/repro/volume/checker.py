@@ -1,0 +1,155 @@
+"""Volume-level consistency checking: stripe map vs. shard maps.
+
+Each shard's internal invariants are checked by the existing
+:func:`~repro.vlog.resilience.checker.vlfsck`; this layer adds the
+checks only the volume can make:
+
+* **layout bijection** -- ``shard_of``/``volume_lba`` must round-trip
+  for every volume block and land inside the shard capacity the volume
+  claims to use (a broken stripe map silently aliases blocks);
+* **capacity agreement** -- the volume's advertised size must equal the
+  stripes it can actually place on its shards;
+* **orphaned shard mappings** -- a shard block mapped in a shard's
+  indirection map but *outside* the volume's stripe range was never
+  written by the volume: stripe-map / shard-map disagreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.vlog.resilience.checker import FsckReport, Violation, vlfsck
+from repro.volume.sharded import ShardedVolume
+
+
+@dataclass
+class VolumeFsckReport:
+    """Everything one volume fsck pass found."""
+
+    violations: List[Violation] = field(default_factory=list)
+    shard_reports: List[FsckReport] = field(default_factory=list)
+    checked_lbas: int = 0
+    deep: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and all(
+            report.ok for report in self.shard_reports
+        )
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append(Violation(kind, detail))
+
+    def summary(self) -> str:
+        shard_bad = sum(
+            len(report.violations) for report in self.shard_reports
+        )
+        total = len(self.violations) + shard_bad
+        if self.ok:
+            return (
+                f"volume-fsck clean ({len(self.shard_reports)} shard(s), "
+                f"{self.checked_lbas} lbas checked"
+                f"{', deep' if self.deep else ''})"
+            )
+        head = "; ".join(
+            str(v) for v in self.violations[:3]
+        ) or "shard-level violations only"
+        return (
+            f"volume-fsck: {total} violation(s) "
+            f"({shard_bad} inside shards): {head}"
+        )
+
+
+def volume_fsck(
+    volume: ShardedVolume, deep: bool = False, sample: int = 4096
+) -> VolumeFsckReport:
+    """Check a quiescent :class:`ShardedVolume`; returns the report.
+
+    ``sample`` bounds the layout round-trip to an evenly spaced subset
+    of volume blocks (every block when the volume is small enough).
+    """
+    report = VolumeFsckReport(deep=deep)
+    _check_layout(volume, report, sample)
+    _check_capacity(volume, report)
+    for index, shard in enumerate(volume.shards):
+        shard_report = vlfsck(shard, deep=deep)
+        report.shard_reports.append(shard_report)
+        for violation in shard_report.violations:
+            report.add(
+                f"shard{index}-{violation.kind}", violation.detail
+            )
+    _check_orphans(volume, report)
+    return report
+
+
+def _check_layout(
+    volume: ShardedVolume, report: VolumeFsckReport, sample: int
+) -> None:
+    step = max(1, volume.num_blocks // max(1, sample))
+    capacity = volume.shard_capacity
+    for lba in range(0, volume.num_blocks, step):
+        shard, s_lba = volume.shard_of(lba)
+        report.checked_lbas += 1
+        if not 0 <= shard < volume.num_shards:
+            report.add(
+                "stripe-map",
+                f"lba {lba} maps to nonexistent shard {shard}",
+            )
+            continue
+        if not 0 <= s_lba < capacity:
+            report.add(
+                "stripe-map",
+                f"lba {lba} maps outside shard capacity: "
+                f"shard {shard} block {s_lba} (capacity {capacity})",
+            )
+        back = volume.volume_lba(shard, s_lba)
+        if back != lba:
+            report.add(
+                "stripe-map",
+                f"layout does not round-trip: lba {lba} -> "
+                f"({shard}, {s_lba}) -> {back}",
+            )
+
+
+def _check_capacity(volume: ShardedVolume, report: VolumeFsckReport) -> None:
+    if volume.num_shards == 1:
+        if volume.num_blocks != volume.shards[0].num_blocks:
+            report.add(
+                "capacity",
+                f"single-shard volume advertises {volume.num_blocks} "
+                f"blocks but its shard has {volume.shards[0].num_blocks}",
+            )
+        return
+    expected = (
+        volume.shard_rows * volume.stripe_blocks * volume.num_shards
+    )
+    if volume.num_blocks != expected:
+        report.add(
+            "capacity",
+            f"volume advertises {volume.num_blocks} blocks; layout "
+            f"provides {expected}",
+        )
+    for index, shard in enumerate(volume.shards):
+        if volume.shard_capacity > shard.num_blocks:
+            report.add(
+                "capacity",
+                f"shard {index} capacity {shard.num_blocks} below the "
+                f"volume's per-shard use of {volume.shard_capacity}",
+            )
+
+
+def _check_orphans(volume: ShardedVolume, report: VolumeFsckReport) -> None:
+    capacity = volume.shard_capacity
+    for index, shard in enumerate(volume.shards):
+        imap = getattr(shard, "imap", None)
+        if imap is None:  # not a VLD stack; nothing to cross-check
+            continue
+        for s_lba, _physical in imap.items():
+            if s_lba >= capacity:
+                report.add(
+                    "shard-map",
+                    f"shard {index} maps block {s_lba} beyond the "
+                    f"volume's stripe range ({capacity}); the volume "
+                    f"never wrote it",
+                )

@@ -1,0 +1,138 @@
+"""Per-shard fail-slow detection for the sharded volume.
+
+A shard that *crashes* announces itself with an exception; a shard that
+goes *fail-slow* does not -- every operation still completes, just an
+order of magnitude late, which is the harder partial failure to handle
+(the "limping" disks of the fail-slow literature).  The
+:class:`ShardHealthMonitor` watches per-operation latencies and trips
+when the p99 over a sliding window exceeds a multiple of a frozen
+baseline p99, with hysteresis so the verdict does not flap at the
+window's edge.  Once tripped, the volume hedges reads against the shard:
+:meth:`hedge_delay` is the simulated-time bound after which a duplicate
+request would have been served by a healthy sibling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+class ShardHealthMonitor:
+    """A p99-over-window latency tripwire for one shard.
+
+    Args:
+        window: Number of recent operations the rolling p99 covers.
+        baseline_samples: Operations observed before the baseline p99 is
+            frozen.  Until then the monitor never trips (it is still
+            learning what "normal" looks like for this shard).
+        trip_factor: Rolling p99 >= ``trip_factor`` x baseline p99 trips
+            the monitor.
+        clear_factor: Once tripped, the rolling p99 must fall back below
+            ``clear_factor`` x baseline p99 to clear (hysteresis;
+            must be < ``trip_factor``).
+        hedge_factor: :meth:`hedge_delay` returns ``hedge_factor`` x
+            baseline p99 -- the surplus a hedged read tolerates before
+            the duplicate wins.
+        min_samples: Rolling-window samples required before the trip
+            comparison is meaningful.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        baseline_samples: int = 32,
+        trip_factor: float = 4.0,
+        clear_factor: float = 2.0,
+        hedge_factor: float = 2.0,
+        min_samples: int = 8,
+    ) -> None:
+        if window <= 0 or baseline_samples <= 0 or min_samples <= 0:
+            raise ValueError("window sizes must be positive")
+        if clear_factor >= trip_factor:
+            raise ValueError("clear_factor must be below trip_factor")
+        self.window = window
+        self.baseline_samples = baseline_samples
+        self.trip_factor = trip_factor
+        self.clear_factor = clear_factor
+        self.hedge_factor = hedge_factor
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget everything (a recovered shard re-learns its baseline)."""
+        self._recent: Deque[float] = deque(maxlen=self.window)
+        self._baseline_pool: List[float] = []
+        self._baseline_p99: Optional[float] = None
+        self._tripped = False
+        self.samples = 0
+        self.trips = 0
+
+    def note(self, seconds: float) -> None:
+        """Record one completed operation's latency and re-evaluate."""
+        self.samples += 1
+        if self._baseline_p99 is None:
+            self._baseline_pool.append(seconds)
+            if len(self._baseline_pool) >= self.baseline_samples:
+                self._baseline_p99 = max(
+                    _percentile(self._baseline_pool, 0.99), 1e-12
+                )
+                self._baseline_pool = []
+            return
+        self._recent.append(seconds)
+        if len(self._recent) < self.min_samples:
+            return
+        p99 = _percentile(list(self._recent), 0.99)
+        if not self._tripped:
+            if p99 >= self.trip_factor * self._baseline_p99:
+                self._tripped = True
+                self.trips += 1
+        elif p99 < self.clear_factor * self._baseline_p99:
+            self._tripped = False
+
+    @property
+    def tripped(self) -> bool:
+        """Whether the shard currently looks fail-slow."""
+        return self._tripped
+
+    @property
+    def baseline_p99(self) -> Optional[float]:
+        """The frozen baseline p99, or ``None`` while still learning."""
+        return self._baseline_p99
+
+    def rolling_p99(self) -> Optional[float]:
+        """The p99 over the current window, or ``None`` when too few
+        samples have arrived since the baseline froze."""
+        if len(self._recent) < self.min_samples:
+            return None
+        return _percentile(list(self._recent), 0.99)
+
+    def hedge_delay(self) -> Optional[float]:
+        """Seconds of fail-slow surplus a hedged read tolerates before
+        the duplicate request wins; ``None`` before the baseline froze
+        (nothing to hedge against yet)."""
+        if self._baseline_p99 is None:
+            return None
+        return self.hedge_factor * self._baseline_p99
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "samples": self.samples,
+            "tripped": self._tripped,
+            "trips": self.trips,
+            "baseline_p99": self._baseline_p99,
+            "rolling_p99": self.rolling_p99(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"ShardHealthMonitor(samples={self.samples}, "
+            f"tripped={self._tripped})"
+        )

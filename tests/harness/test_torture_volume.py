@@ -1,0 +1,157 @@
+"""Tests for the multi-shard volume torture harness.
+
+Same philosophy as the single-device harness tests: prove a composed
+multi-shard plan survives, that the point is deterministic, and --
+checker-mutation -- that a planted durability bug is caught, minimized,
+and written out as a ``volume-`` repro artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.torture import (
+    VOLUME_FAMILIES,
+    VOLUME_QUICK_WORKLOADS,
+    minimize,
+    volume_long_set,
+    volume_matrix,
+    volume_quick_set,
+    volume_torture_point,
+    write_repro,
+)
+from repro.harness.torture import WORKLOADS
+from repro.sim.stats import Breakdown
+from repro.vlog.virtual_log import VirtualLog
+
+
+class TestVolumeTorturePoint:
+    def test_shard_crash_point_survives(self):
+        verdict = volume_torture_point(
+            workload="small_writes", ops=100, shards=3,
+            crash_shard=0, crash_after=30, torn=True, seed=0,
+        )
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["crashed_at"] is not None
+        assert verdict["down_shard"] == 0
+        assert verdict["recovery"]["shard"] == 0
+        assert verdict["recovery"]["scanned"]
+
+    def test_degraded_window_serves_and_bounds(self):
+        verdict = volume_torture_point(
+            workload="sequential", ops=100, shards=3,
+            crash_shard=1, crash_after=25, torn=False, seed=0,
+        )
+        assert verdict["ok"], verdict["failures"]
+        window = verdict["degraded_window"]
+        # The window saw traffic, some of it served by healthy shards
+        # and some bounced off the down shard -- but bounded, not hung.
+        assert window["ops"] > 0
+        assert window["healthy_ok"] > 0
+        assert window["unavailable"] >= 0
+
+    def test_orderly_point_recovers_every_shard(self):
+        verdict = volume_torture_point(
+            workload="overwrites", ops=60, shards=3, seed=1,
+        )
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["crashed_at"] is None
+        assert verdict["recovery"]["shard"] is None
+        assert verdict["recovery"]["used_power_down_record"]
+
+    def test_composed_point_contains_each_fault(self):
+        params = dict(VOLUME_FAMILIES["shard-composed"])
+        verdict = volume_torture_point(
+            workload="small_writes", seed=0, **params
+        )
+        assert verdict["ok"], verdict["failures"]
+        assert verdict["down_shard"] == params["crash_shard"]
+        assert verdict["shards"] == params["shards"]
+
+    def test_deterministic_verdicts(self):
+        kwargs = dict(
+            workload="bursty_idle", ops=80, shards=3,
+            crash_shard=2, crash_after=20, seed=4,
+        )
+        assert volume_torture_point(**kwargs) == volume_torture_point(
+            **kwargs
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            volume_torture_point(workload="nope")
+
+
+class TestVolumeMatrix:
+    def test_quick_set_covers_workload_subset_and_every_family(self):
+        points = volume_quick_set()
+        assert len(points) == (
+            len(VOLUME_QUICK_WORKLOADS) * len(VOLUME_FAMILIES)
+        )
+        params = [p.params for p in points]
+        assert {p["workload"] for p in params} == set(
+            VOLUME_QUICK_WORKLOADS
+        )
+        assert all(p["shards"] >= 3 for p in params)
+
+    def test_long_set_is_the_full_multi_seed_grid(self):
+        assert len(volume_long_set()) == (
+            4 * len(WORKLOADS) * len(VOLUME_FAMILIES)
+        )
+
+    def test_points_name_the_importable_fn(self):
+        point = volume_matrix(seeds=(0,))[0]
+        assert point.fn_name == (
+            "repro.harness.torture:volume_torture_point"
+        )
+
+
+class TestVolumeCheckerMutation:
+    """Plant the lost-commit bug on every shard; the volume point must
+    see it, the minimizer must shrink it, the artifact must say so."""
+
+    @pytest.fixture()
+    def lost_commits(self, monkeypatch):
+        monkeypatch.setattr(
+            VirtualLog, "append",
+            lambda self, chunk_id, entries, txn_id=0: Breakdown(),
+        )
+
+    PARAMS = dict(
+        workload="small_writes", ops=80, shards=3,
+        crash_shard=0, crash_after=25, torn=False,
+    )
+
+    def test_mutation_is_caught(self, lost_commits):
+        verdict = volume_torture_point(seed=0, **self.PARAMS)
+        assert not verdict["ok"]
+        assert verdict["failures"]
+
+    def test_minimizer_shrinks_with_the_volume_fn(self, lost_commits):
+        minimized = minimize(
+            dict(self.PARAMS), seed=0, fn=volume_torture_point
+        )
+        assert minimized["params"]["ops"] <= self.PARAMS["ops"]
+        assert minimized["fn"] == (
+            "repro.harness.torture:volume_torture_point"
+        )
+        assert not volume_torture_point(
+            seed=0, **minimized["params"]
+        )["ok"]
+
+    def test_repro_artifact_is_volume_tagged(self, lost_commits, tmp_path):
+        verdict = volume_torture_point(seed=0, **self.PARAMS)
+        verdict["params"] = dict(self.PARAMS)
+        minimized = {
+            "params": dict(self.PARAMS), "seed": 0, "runs": 1,
+            "fn": "repro.harness.torture:volume_torture_point",
+        }
+        path = write_repro(verdict, minimized, directory=str(tmp_path))
+        assert "volume-" in os.path.basename(path)
+        artifact = json.loads(open(path).read())
+        assert artifact["fn"] == (
+            "repro.harness.torture:volume_torture_point"
+        )
+        assert "volume_torture_point(" in artifact["reproduce"]
+        assert artifact["failures"]

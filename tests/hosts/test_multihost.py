@@ -120,6 +120,89 @@ class TestDeterminism:
         assert inline == pooled
 
 
+class TestShardedMode:
+    def test_sharded_bank_matches_plain_disks_on_shared_keys(self):
+        """shards=N is the same simulation as disks=N -- only the
+        reporting changes (bank names and the per_shard section)."""
+        plain = quick(hosts=4, disks=3)
+        sharded = quick(hosts=4, disks=1, shards=3)
+        assert sharded["shards"] == 3
+        assert "per_shard" in sharded
+        skip = {"shards", "per_shard", "disk_busy_seconds"}
+        for key, value in plain.items():
+            if key in skip:
+                continue
+            assert sharded[key] == value, key
+        # Same busy time per bank member, different names.
+        assert sorted(sharded["disk_busy_seconds"]) == [
+            "shard0", "shard1", "shard2"
+        ]
+        assert sorted(sharded["disk_busy_seconds"].values()) == sorted(
+            plain["disk_busy_seconds"].values()
+        )
+
+    def test_per_shard_only_when_sharded(self):
+        assert "per_shard" not in quick(hosts=2, disks=2)
+        assert "shards" not in quick(hosts=2, disks=2)
+
+    def test_slow_window_grows_the_limping_shards_tail(self):
+        slow = {"shard": 1, "factor": 8.0, "after": 10, "ops": 60}
+        report = quick(hosts=4, disks=1, shards=3, shard_slow=slow)
+        rows = report["per_shard"]["shards"]
+        limping = next(r for r in rows if r["shard"] == "shard1")
+        healthy = [r for r in rows if r["shard"] != "shard1"]
+        assert limping["ops_slowed"] > 0
+        assert limping["slow_extra_seconds"] > 0.0
+        assert all(r["ops_slowed"] == 0 for r in healthy)
+        assert limping["p99_response_ms"] > max(
+            r["p99_response_ms"] for r in healthy
+        )
+
+    def test_degraded_window_accounting(self):
+        slow = {"shard": 0, "factor": 6.0, "after": 5, "ops": 40}
+        report = quick(hosts=4, disks=1, shards=3, shard_slow=slow)
+        window = report["per_shard"]["degraded_window"]
+        assert window["end"] > window["start"]
+        assert window["seconds"] == pytest.approx(
+            window["end"] - window["start"]
+        )
+        rows = report["per_shard"]["shards"]
+        assert window["completed"] == sum(
+            r["completed_in_window"] for r in rows
+        )
+        assert window["requests_per_second"] == pytest.approx(
+            window["completed"] / window["seconds"]
+        )
+        for row in rows:
+            assert row["busy_in_window_seconds"] <= (
+                window["seconds"] + 1e-9
+            )
+
+    def test_sharded_run_is_deterministic(self):
+        slow = {"shard": 2, "factor": 4.0, "after": 8, "ops": 30}
+        first = quick(hosts=3, disks=1, shards=3, shard_slow=slow)
+        second = quick(hosts=3, disks=1, shards=3, shard_slow=slow)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not both"):
+            quick(disks=2, shards=2)
+        with pytest.raises(ValueError, match="positive"):
+            quick(disks=1, shards=0)
+        with pytest.raises(ValueError, match="requires shards"):
+            quick(disks=2, shard_slow={"shard": 0, "factor": 2.0})
+        with pytest.raises(ValueError, match="out of range"):
+            quick(disks=1, shards=2,
+                  shard_slow={"shard": 5, "factor": 2.0})
+
+    def test_format_report_renders_shard_lines(self):
+        slow = {"shard": 1, "factor": 8.0, "after": 10, "ops": 60}
+        report = quick(hosts=2, disks=1, shards=3, shard_slow=slow)
+        text = format_report(report)
+        assert "shard1" in text
+        assert "degraded" in text
+
+
 class TestFormatReport:
     def test_renders_the_headline_numbers(self):
         report = quick(hosts=2)

@@ -259,3 +259,67 @@ class TestRegularDiskQueue:
         assert device.scheduler.outstanding == 1
         data, _ = device.read_block(5)
         assert data == _payload(9)  # FIFO services the write first
+
+
+class TestSlowWindow:
+    """The scheduler-level fail-slow hook (multihost's shard_slow)."""
+
+    def build(self):
+        disk = Disk(ST19101, num_cylinders=2, store_data=False)
+        return disk, DiskScheduler(disk, "fifo")
+
+    def test_validation(self):
+        _, scheduler = self.build()
+        with pytest.raises(ValueError, match="factor"):
+            scheduler.set_slow_window(0.5)
+        with pytest.raises(ValueError, match="after_ops"):
+            scheduler.set_slow_window(2.0, after_ops=-1)
+        with pytest.raises(ValueError, match="duration"):
+            scheduler.set_slow_window(2.0, duration_ops=0)
+
+    def test_only_window_services_are_stretched(self):
+        _, scheduler = self.build()
+        scheduler.set_slow_window(4.0, after_ops=2, duration_ops=3)
+        for i in range(8):
+            scheduler.write(i * 16)
+        scheduler.drain()
+        # Services 3, 4, 5 fall in the window.
+        assert scheduler.ops_slowed == 3
+        assert scheduler.slow_extra_seconds > 0.0
+        assert scheduler.slow_span is not None
+        start, end = scheduler.slow_span
+        assert start < end
+
+    def test_surplus_lands_on_the_disk_clock(self):
+        disk_a, plain = self.build()
+        disk_b, slowed = self.build()
+        slowed.set_slow_window(5.0)
+        for i in range(4):
+            plain.write(i * 16)
+            slowed.write(i * 16)
+        plain.drain()
+        slowed.drain()
+        # The slowed bank genuinely ran longer, and every completion
+        # stamp includes its surplus (the last one IS the final clock).
+        assert disk_b.clock.now > disk_a.clock.now
+        assert slowed.slow_extra_seconds > 0.0
+        assert slowed.completion_times[-1] == disk_b.clock.now
+
+    def test_completion_times_cover_every_service(self):
+        _, scheduler = self.build()
+        for i in range(5):
+            scheduler.write(i * 16)
+        scheduler.drain()
+        assert len(scheduler.completion_times) == 5
+        assert scheduler.completion_times == sorted(
+            scheduler.completion_times
+        )
+
+    def test_no_window_means_no_slow_state(self):
+        _, scheduler = self.build()
+        for i in range(4):
+            scheduler.write(i * 16)
+        scheduler.drain()
+        assert scheduler.ops_slowed == 0
+        assert scheduler.slow_extra_seconds == 0.0
+        assert scheduler.slow_span is None

@@ -1,0 +1,165 @@
+"""Degraded-mode operation: bounded unavailability, no hangs, and
+hedged reads against a fail-slow shard."""
+
+import pytest
+
+from repro.blockdev.interpose import FaultPlan
+from repro.harness.configs import build_sharded_volume
+from repro.vlog.resilience import RetryPolicy
+from repro.volume import ShardUnavailable
+
+
+def payload(lba, size):
+    return bytes([lba % 251]) * size
+
+
+def fill(volume, n=24):
+    for lba in range(n):
+        volume.write_block(lba, payload(lba, volume.block_size))
+
+
+class TestBoundedUnavailability:
+    def test_down_shard_requests_fail_within_the_retry_budget(self):
+        policy = RetryPolicy(
+            max_attempts=3, initial_backoff=0.002, backoff_factor=2.0
+        )
+        volume, _, disks = build_sharded_volume(
+            shards=3, num_cylinders=2, retry_policy=policy
+        )
+        fill(volume)
+        volume.crash_shard(1)
+        budget = policy.backoff(1) + policy.backoff(2)
+        clock = disks[0].clock
+        victim = next(
+            lba for lba in range(24) if volume.shard_of(lba)[0] == 1
+        )
+        before = clock.now
+        with pytest.raises(ShardUnavailable):
+            volume.read_block(victim)
+        # The request paid exactly the bounded budget -- deterministic
+        # simulated time, not a hang, not a free instant failure.
+        assert clock.now - before == pytest.approx(budget)
+        assert volume.backoff_seconds[1] == pytest.approx(budget)
+        assert volume.unavailable_errors[1] == 1
+
+    def test_down_shard_is_never_called(self):
+        volume, _, _ = build_sharded_volume(shards=3, num_cylinders=2)
+        fill(volume)
+        volume.crash_shard(0)
+        calls_before = volume.shard_calls[0]
+        victim = next(
+            lba for lba in range(24) if volume.shard_of(lba)[0] == 0
+        )
+        for _ in range(3):
+            with pytest.raises(ShardUnavailable):
+                volume.write_block(victim, payload(9, volume.block_size))
+        assert volume.shard_calls[0] == calls_before
+        assert volume.unavailable_errors[0] == 3
+
+    def test_healthy_io_flows_while_one_shard_is_down(self):
+        volume, _, _ = build_sharded_volume(shards=3, num_cylinders=2)
+        fill(volume)
+        volume.crash_shard(2)
+        size = volume.block_size
+        healthy = [
+            lba for lba in range(24) if volume.shard_of(lba)[0] != 2
+        ]
+        for lba in healthy:
+            volume.write_block(lba, payload(lba + 100, size))
+        for lba in healthy:
+            data, _ = volume.read_block(lba)
+            assert data == payload(lba + 100, size)
+
+    def test_unavailable_carries_shard_and_cause(self):
+        volume, _, _ = build_sharded_volume(shards=3, num_cylinders=2)
+        fill(volume)
+        volume.crash_shard(1)
+        victim = next(
+            lba for lba in range(24) if volume.shard_of(lba)[0] == 1
+        )
+        with pytest.raises(ShardUnavailable) as err:
+            volume.read_block(victim)
+        assert err.value.shard == 1
+        assert "backoff" in str(err.value)
+
+
+class TestHedgedReads:
+    def hedging_volume(self, factor=16.0):
+        # The slow onset sits past the monitor's 32-sample baseline so
+        # "normal" is learned from genuinely normal operations.
+        plan = FaultPlan(
+            seed=5, slow_factor=factor, slow_after_ops=64,
+            slow_duration_ops=4000,
+        )
+        return build_sharded_volume(
+            shards=3, num_cylinders=2, fault_plans={1: plan}
+        )
+
+    def read_until_tripped(self, volume, rounds=60):
+        limping = [
+            lba for lba in range(24) if volume.shard_of(lba)[0] == 1
+        ]
+        for _ in range(rounds):
+            for lba in limping:
+                volume.read_block(lba)
+            if volume.monitors[1].tripped:
+                return True
+        return volume.monitors[1].tripped
+
+    def test_monitor_trips_and_reads_get_hedged(self):
+        volume, _, _ = self.hedging_volume()
+        fill(volume)
+        assert self.read_until_tripped(volume)
+        before = volume.hedged_reads[1]
+        limping = [
+            lba for lba in range(24) if volume.shard_of(lba)[0] == 1
+        ]
+        for lba in limping:
+            volume.read_block(lba)
+        assert volume.hedged_reads[1] > before
+
+    def test_hedged_read_is_cheaper_than_unhedged(self):
+        # 64x surplus dwarfs the monitor's hedge delay, so the cap binds.
+        hedged_vol, _, _ = self.hedging_volume(factor=64.0)
+        fill(hedged_vol)
+        assert self.read_until_tripped(hedged_vol)
+        lba = next(
+            l for l in range(24) if hedged_vol.shard_of(l)[0] == 1
+        )
+        _, hedged_cost = hedged_vol.read_block(lba)
+
+        plain_vol, _, _ = build_sharded_volume(
+            shards=3, num_cylinders=2,
+            fault_plans={1: FaultPlan(
+                seed=5, slow_factor=64.0, slow_after_ops=64,
+                slow_duration_ops=4000,
+            )},
+            hedge_reads=False,
+        )
+        fill(plain_vol)
+        self.read_until_tripped(plain_vol)  # same op sequence, no trip use
+        _, raw_cost = plain_vol.read_block(lba)
+        # The hedge caps the fail-slow surplus at the monitor's delay;
+        # the unhedged read pays the full 16x factor.
+        assert hedged_cost.total < raw_cost.total
+
+    def test_hedge_cap_is_restored_after_the_read(self):
+        volume, devices, _ = self.hedging_volume()
+        fill(volume)
+        assert self.read_until_tripped(volume)
+        layer = volume._fault_layers[1]
+        lba = next(
+            l for l in range(24) if volume.shard_of(l)[0] == 1
+        )
+        volume.read_block(lba)
+        assert layer.hedge_cap is None
+
+    def test_recovered_shard_relearns_its_baseline(self):
+        volume, _, _ = self.hedging_volume()
+        fill(volume)
+        assert self.read_until_tripped(volume)
+        volume.recover_shard(1)
+        monitor = volume.monitors[1]
+        assert not monitor.tripped
+        assert monitor.baseline_p99 is None
+        assert monitor.samples == 0

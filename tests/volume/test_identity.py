@@ -1,0 +1,134 @@
+"""The single-shard identity pin: a one-shard volume IS a plain VLD.
+
+The volume layer is only allowed to *route*; with one shard there is
+nothing to route, so every operation must delegate verbatim -- the same
+disk calls, in the same order, at the same clock instants, and the same
+returned bytes/breakdowns.  CI runs this file alongside the depth-1
+figure identity gate: together they prove the volume layer cannot
+perturb any existing single-device figure.
+"""
+
+import random
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.specs import ST19101
+from repro.sim.clock import SimClock
+from repro.vlog.vld import VirtualLogDisk
+from repro.volume import ShardedVolume
+
+OPS = 160
+
+
+@pytest.fixture
+def record_disk_calls(monkeypatch):
+    """Shim Disk.read/write to log (op, sector, count, start, end)."""
+    calls = []
+    real_read, real_write = Disk.read, Disk.write
+
+    def read(self, sector, count=1, *args, **kwargs):
+        start = self.clock.now
+        result = real_read(self, sector, count, *args, **kwargs)
+        calls.append(("read", sector, count, start, self.clock.now))
+        return result
+
+    def write(self, sector, count=1, *args, **kwargs):
+        start = self.clock.now
+        result = real_write(self, sector, count, *args, **kwargs)
+        calls.append(("write", sector, count, start, self.clock.now))
+        return result
+
+    monkeypatch.setattr(Disk, "read", read)
+    monkeypatch.setattr(Disk, "write", write)
+    return calls
+
+
+def drive(device, seed=11, ops=OPS):
+    """A seeded mixed workload; returns every observable the caller saw:
+    read bytes and the total of every returned breakdown."""
+    rng = random.Random(seed)
+    size = device.block_size
+    span = min(192, device.num_blocks)
+    seen = []
+    total = 0.0
+    for i in range(ops):
+        lba = rng.randrange(span)
+        roll = rng.random()
+        if roll < 0.55:
+            cost = device.write_block(
+                lba, bytes([(lba + i) % 251]) * size
+            )
+            total += cost.total
+        elif roll < 0.8:
+            count = min(rng.randrange(1, 9), span - lba)
+            data, cost = device.read_blocks(lba, count)
+            seen.append(data)
+            total += cost.total
+        elif roll < 0.9:
+            count = min(rng.randrange(1, 5), span - lba)
+            total += device.trim(lba, count).total
+        else:
+            device.idle(rng.random() * 0.01)
+    # Orderly shutdown + recovery, then one more read pass: the
+    # recover() delegation is part of the identity surface.
+    device.power_down()
+    device.crash()
+    device.recover()
+    for lba in range(0, span, 7):
+        data, cost = device.read_block(lba)
+        seen.append(data)
+        total += cost.total
+    return seen, total
+
+
+def build_plain(queue_depth=1, sched="fifo"):
+    disk = Disk(ST19101, clock=SimClock(), num_cylinders=4)
+    return disk, VirtualLogDisk(
+        disk, queue_depth=queue_depth, sched=sched
+    )
+
+
+@pytest.mark.parametrize("queue_depth,sched", [(1, "fifo"), (4, "satf")])
+def test_disk_call_sequence_identical(record_disk_calls, queue_depth, sched):
+    """The strongest form: every physical disk call matches, including
+    its exact service interval."""
+    _, plain = build_plain(queue_depth, sched)
+    plain_seen, plain_total = drive(plain)
+    plain_calls = list(record_disk_calls)
+    record_disk_calls.clear()
+
+    _, shard = build_plain(queue_depth, sched)
+    volume = ShardedVolume([shard])
+    volume_seen, volume_total = drive(volume)
+    volume_calls = list(record_disk_calls)
+
+    assert len(plain_calls) > 0
+    assert volume_calls == plain_calls
+    assert volume_seen == plain_seen
+    assert volume_total == plain_total  # plain ==, no tolerance
+
+
+def test_capacity_and_clock_identical():
+    disk_a, plain = build_plain()
+    disk_b, shard = build_plain()
+    volume = ShardedVolume([shard])
+    assert volume.num_blocks == plain.num_blocks
+    assert volume.block_size == plain.block_size
+    drive(plain)
+    drive(volume)
+    assert disk_b.clock.now == disk_a.clock.now
+
+
+def test_single_shard_recover_passes_through():
+    _, shard = build_plain()
+    volume = ShardedVolume([shard])
+    volume.write_block(3, b"\x77" * volume.block_size)
+    volume.power_down()
+    volume.crash()
+    outcome = volume.recover()
+    # A plain RecoveryOutcome, not a per-shard list.
+    assert not isinstance(outcome, list)
+    assert outcome.used_power_down_record
+    data, _ = volume.read_block(3)
+    assert data == b"\x77" * volume.block_size
