@@ -1141,6 +1141,7 @@ def build_device_stack(
     metrics: bool = False,
     faults: Optional[FaultPlan] = None,
     device_factory: Optional[Callable] = None,
+    nvm=None,
     **device_kwargs,
 ) -> BlockDevice:
     """Build a core device over ``disk`` and wrap it with interposers.
@@ -1148,9 +1149,13 @@ def build_device_stack(
     ``device_type`` selects the core: ``"regular"`` (update-in-place
     identity mapping) or ``"vld"`` (the Virtual Log Disk); a custom
     ``device_factory(disk, block_size=..., **device_kwargs)`` overrides
-    both.  Interposers come from ``options`` or, when that is omitted,
-    from the individual keyword flags.  This is the single entry point
-    the harness, the examples, and the file systems build stacks through.
+    both.  ``nvm`` threads an NVM write-ahead tier between the core and
+    the interposers: pass ``True`` for the default NVDIMM spec, a part
+    name from :data:`~repro.blockdev.nvm.NVM_SPECS`, or an
+    :class:`~repro.blockdev.nvm.NVMSpec`.  Interposers come from
+    ``options`` or, when that is omitted, from the individual keyword
+    flags.  This is the single entry point the harness, the examples,
+    and the file systems build stacks through.
     """
     if device_factory is not None:
         device: BlockDevice = device_factory(
@@ -1164,6 +1169,17 @@ def build_device_stack(
         device = VirtualLogDisk(disk, block_size=block_size, **device_kwargs)
     else:
         raise ValueError(f"unknown device type {device_type!r}")
+    if nvm:
+        from repro.blockdev.nvm import NVM_SPECS, NVMSpec
+        from repro.nvm import NVWal
+
+        if nvm is True:
+            spec = None
+        elif isinstance(nvm, NVMSpec):
+            spec = nvm
+        else:
+            spec = NVM_SPECS[nvm]
+        device = NVWal(device, spec=spec)
     if options is None:
         options = InterposeOptions(
             trace=trace,

@@ -92,6 +92,7 @@ _QUICK = {
     ),
     "figure_qdepth": dict(depths=[1, 2, 4], requests=150),
     "figure_multihost": dict(host_counts=[1, 2, 4], requests_per_host=80),
+    "figure_nvm": dict(requests=80),
 }
 
 _FULL = {
@@ -105,11 +106,12 @@ _FULL = {
     "figure11": dict(),
     "figure_qdepth": dict(),
     "figure_multihost": dict(),
+    "figure_nvm": dict(),
 }
 
 _ALL = ["table1", "figure1", "figure2", "figure6", "figure7", "figure8",
         "table2", "figure9", "figure10", "figure11", "figure_qdepth",
-        "figure_multihost"]
+        "figure_multihost", "figure_nvm"]
 
 
 def _print_result(name: str, result) -> None:
@@ -246,6 +248,25 @@ def _print_result(name: str, result) -> None:
                         f"({window['requests_per_second']:.0f} req/s)"
                     )
             print()
+    elif name == "figure_nvm":
+        for workload, per_mode in result.items():
+            rows = [
+                [
+                    mode,
+                    m["mean_write_ms"],
+                    m["p99_write_ms"],
+                    m["max_write_ms"],
+                    int(m.get("destaged_blocks", 0)),
+                    int(m.get("pressure_destages", 0)),
+                ]
+                for mode, m in per_mode.items()
+            ]
+            print(format_table(
+                ["mode", "mean write (ms)", "p99 (ms)", "max (ms)",
+                 "destaged", "pressure"],
+                rows, title=f"figure_nvm: {workload}",
+            ))
+            print()
     else:  # pragma: no cover - defensive
         print(result)
 
@@ -299,9 +320,27 @@ def main(argv=None) -> int:
                         choices=("fifo", "scan", "elevator", "satf"),
                         help="request scheduling policy: fifo, scan, satf "
                              "(default: fifo)")
+    parser.add_argument("--nvm", nargs="?", const="nvdimm", default=None,
+                        metavar="PART",
+                        help="thread an NVM write-ahead tier into every "
+                             "device stack (PART: nvdimm, battery-sram, "
+                             "slow-pcm; default nvdimm)")
+    parser.add_argument("--nvm-lat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="override the NVM store latency (requires "
+                             "--nvm), e.g. 3e-6")
+    parser.add_argument("--nvm-cap", type=int, default=None,
+                        metavar="BYTES",
+                        help="override the NVM log capacity in bytes "
+                             "(requires --nvm), e.g. 1048576")
     parser.add_argument("--torture", action="store_true",
                         help="run the composed-fault torture matrix "
                              "(with --full: the weekly multi-seed grid)")
+    parser.add_argument("--families", nargs="+", default=None,
+                        metavar="FAMILY",
+                        help="with --torture: restrict the matrix to these "
+                             "fault families (e.g. nvm-crash "
+                             "nvm-crash+torn@depth4)")
     parser.add_argument("--volume", action="store_true",
                         help="with --torture: run the multi-shard volume "
                              "matrix (shard crash/slow/flaky fault domains)")
@@ -326,6 +365,30 @@ def main(argv=None) -> int:
         parser.error("--shards must be >= 1")
     if args.shard_slow is not None and args.shards is None:
         parser.error("--shard-slow requires --shards")
+    if (args.nvm_lat is not None or args.nvm_cap is not None) \
+            and args.nvm is None:
+        parser.error("--nvm-lat/--nvm-cap require --nvm")
+    if args.families is not None and not args.torture:
+        parser.error("--families requires --torture")
+    if args.nvm is not None:
+        from repro.blockdev.nvm import NVM_SPECS
+
+        if args.nvm not in NVM_SPECS:
+            parser.error(f"--nvm: unknown part {args.nvm!r}; known: "
+                         + ", ".join(sorted(NVM_SPECS)))
+        spec = NVM_SPECS[args.nvm].with_overrides(
+            store_latency=args.nvm_lat, capacity_bytes=args.nvm_cap
+        )
+        configs.set_default_nvm(spec)
+        # The NVM default is process-global state the cache key and the
+        # worker processes do not see -- run inline and uncached.
+        if args.jobs > 1:
+            print("[sweep: --nvm forces --jobs 1]", file=sys.stderr)
+            args.jobs = 1
+        if not args.no_cache:
+            print("[sweep: --nvm disables the result cache]",
+                  file=sys.stderr)
+            args.no_cache = True
     if args.queue_depth is not None or args.sched is not None:
         depth = args.queue_depth if args.queue_depth is not None else 1
         if depth < 1:
@@ -385,6 +448,13 @@ def main(argv=None) -> int:
                 return 2
             fn = getattr(experiments, name)
             kwargs = dict(overrides.get(name, {}))
+            if name == "figure_nvm":
+                if args.nvm is not None:
+                    kwargs["nvm_part"] = args.nvm
+                if args.nvm_lat is not None:
+                    kwargs["nvm_store_latency"] = args.nvm_lat
+                if args.nvm_cap is not None:
+                    kwargs["nvm_capacity"] = args.nvm_cap
             if name == "figure_multihost":
                 if args.hosts is not None:
                     kwargs["host_counts"] = [args.hosts]
@@ -444,7 +514,18 @@ def _run_torture(args) -> int:
 
     if args.volume:
         return _run_volume_torture(args)
-    points = torture.long_set() if args.full else torture.quick_set()
+    families = args.families
+    if families is not None:
+        unknown = [f for f in families if f not in torture.FAMILIES]
+        if unknown:
+            print(f"unknown torture families: {', '.join(unknown)}; "
+                  f"known: {', '.join(sorted(torture.FAMILIES))}",
+                  file=sys.stderr)
+            return 2
+    points = (
+        torture.long_set(families) if args.full
+        else torture.quick_set(families)
+    )
     print(f"torture matrix: {len(points)} plans "
           f"({'weekly' if args.full else 'quick'} set, "
           f"jobs={args.jobs})")
@@ -455,7 +536,8 @@ def _run_torture(args) -> int:
         params = verdict["params"]
         fault = ",".join(
             f"{k}={params[k]}" for k in
-            ("crash_after", "torn", "flaky", "read_error_rate")
+            ("crash_after", "torn", "flaky", "read_error_rate",
+             "nvm_crash_after", "nvm_torn")
             if params.get(k)
         ) or "none"
         counters = verdict["counters"]

@@ -48,6 +48,10 @@ class StackConfig:
     # keeps these at their baseline values.
     queue_depth: int = 1
     sched: str = "fifo"
+    # NVM write-ahead tier in front of the core device: False (off),
+    # True (default NVDIMM part), or a part name from NVM_SPECS.  The
+    # process-wide default (set_default_nvm) overrides when left False.
+    nvm: object = False
     # Interposer flags (combined with the process-wide default).
     trace: bool = False
     metrics: bool = False
@@ -99,6 +103,31 @@ def set_default_queue(queue: Optional[Tuple[int, str]]) -> None:
 
 def default_queue() -> Optional[Tuple[int, str]]:
     return _DEFAULT_QUEUE
+
+
+#: Process-wide NVM-tier default, applied to any stack whose config keeps
+#: the baseline ``nvm=False`` (the harness CLI sets this for --nvm).
+#: ``None``/``False`` = off; ``True`` = default part; a string names a
+#: part; an :class:`~repro.blockdev.nvm.NVMSpec` pins one exactly.
+_DEFAULT_NVM: object = None
+
+
+def set_default_nvm(nvm: object) -> None:
+    """Set (or clear, with ``None``) the process-wide NVM-tier default."""
+    global _DEFAULT_NVM
+    _DEFAULT_NVM = nvm
+
+
+def default_nvm() -> object:
+    return _DEFAULT_NVM
+
+
+def _effective_nvm(config: StackConfig) -> object:
+    if config.nvm:
+        return config.nvm
+    if _DEFAULT_NVM is not None:
+        return _DEFAULT_NVM
+    return False
 
 
 def _effective_queue(config: StackConfig) -> Tuple[int, str]:
@@ -157,6 +186,7 @@ def build_stack(
         disk,
         config.device_type,
         options=options,
+        nvm=_effective_nvm(config),
         queue_depth=queue_depth,
         sched=sched,
     )

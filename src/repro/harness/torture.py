@@ -245,6 +245,10 @@ def torture_point(
     flaky_rate: float = 0.0,
     queue_depth: int = 1,
     sched: str = "fifo",
+    nvm: bool = False,
+    nvm_crash_after: Optional[int] = None,
+    nvm_torn: bool = False,
+    nvm_cap_kb: Optional[int] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:
     """Run one composed-fault scenario end to end; returns a
@@ -255,6 +259,15 @@ def torture_point(
     runs queued as single requests, so a crash can land between the run
     writes and the map commit -- the recovery audit still demands
     old-or-new contents for every block.
+
+    ``nvm`` threads an :class:`~repro.nvm.NVWal` write-ahead tier
+    between the workload and the VLD; ``nvm_crash_after`` arms power
+    loss at the N-th NVM log append (``nvm_torn``: that append persists
+    only a prefix), so the crash lands exactly between NVM commit and
+    destage, and ``nvm_cap_kb`` bounds the log so pressure destages put
+    the run in a mixed destaged/NVM-only state first.  The oracle is
+    unchanged: every acked write must read back new, the interrupted op
+    old-or-new.
     """
     import random
 
@@ -264,6 +277,18 @@ def torture_point(
     rng = random.Random(seed)
     disk = Disk(ST19101, num_cylinders=6)
     vld = VirtualLogDisk(disk, queue_depth=queue_depth, sched=sched)
+    if nvm:
+        from repro.blockdev.nvm import NVM_SPECS
+        from repro.nvm import NVWal, NVWalInjector
+
+        spec = NVM_SPECS["nvdimm"]
+        if nvm_cap_kb is not None:
+            spec = spec.with_overrides(capacity_bytes=nvm_cap_kb << 10)
+        device = NVWal(vld, spec=spec)
+        if nvm_crash_after is not None:
+            device.injector = NVWalInjector(nvm_crash_after, torn=nvm_torn)
+    else:
+        device = vld
     oracle = _Oracle(vld.block_size, seed)
     failures: List[str] = []
 
@@ -278,7 +303,7 @@ def torture_point(
     def read_block(lba: int) -> Optional[bytes]:
         for _ in range(HARNESS_READ_RETRIES):
             try:
-                data, _cost = vld.read_block(lba)
+                data, _cost = device.read_block(lba)
                 return data
             except MediaError:
                 continue
@@ -292,20 +317,20 @@ def torture_point(
             try:
                 if op == "write":
                     data = oracle.begin_write(lba, int(arg))
-                    vld.write_blocks(lba, int(arg), data)
+                    device.write_blocks(lba, int(arg), data)
                     oracle.ack()
                 elif op == "trim":
                     oracle.begin_trim(lba, int(arg))
-                    vld.trim(lba, int(arg))
+                    device.trim(lba, int(arg))
                     oracle.ack()
                 elif op == "idle":
-                    vld.idle(float(arg))
+                    device.idle(float(arg))
                 else:  # read
                     count = int(arg)
                     actual = None
                     for _ in range(HARNESS_READ_RETRIES):
                         try:
-                            actual, _cost = vld.read_blocks(lba, count)
+                            actual, _cost = device.read_blocks(lba, count)
                             break
                         except MediaError:
                             continue
@@ -343,7 +368,7 @@ def torture_point(
     if orderly and crash_after is None:
         # No crash machinery at all: model an orderly shutdown so the
         # power-record path recovers under the same flaky media.
-        vld.power_down()
+        device.power_down()
 
     # ------------------------------------------------------------------
     # Crash, clear the crash machinery (media degradation persists),
@@ -355,8 +380,10 @@ def torture_point(
         seed=seed + 1,
         flaky_sectors=flaky_sectors,
     ).install(disk)
-    vld.crash()
-    outcome = vld.recover()
+    if nvm:
+        device.injector = None  # crash machinery cleared before recovery
+    device.crash()
+    outcome = device.recover()
 
     report = vlfsck(vld, deep=True)
     for violation in report.violations:
@@ -368,7 +395,7 @@ def torture_point(
     # ------------------------------------------------------------------
     if run_ops(op_iter, CONTINUE_OPS) >= 0:
         failures.append("continue phase crashed with no injector armed")
-    vld.idle(0.2)  # let the scrubber drain any suspects
+    device.idle(0.2)  # let the scrubber drain any suspects
     final = vlfsck(vld, deep=True)
     for violation in final.violations:
         failures.append(f"final vlfsck: {violation.kind}: "
@@ -405,6 +432,13 @@ def torture_point(
             "sectors_scrubbed": resilience.scrubber.sectors_scrubbed,
             "blocks_migrated": resilience.scrubber.blocks_migrated,
         },
+        "nvm": {
+            "replayed_records": outcome.replayed_records,
+            "replayed_blocks": outcome.replayed_blocks,
+            "torn_tail": outcome.torn_tail,
+            "absorbed_writes": device.absorbed_writes,
+            "pressure_destages": device.pressure_destages,
+        } if nvm else None,
     }
 
 
@@ -829,6 +863,20 @@ FAMILIES: Dict[str, Dict[str, Any]] = {
     # still hand back old-or-new for every block.
     "crash+torn@depth4": dict(ops=120, crash_after=35, torn=True,
                               queue_depth=4, sched="satf"),
+    # The two-tier commit point: power loss lands at the N-th NVM log
+    # append, squarely between NVM commit and destage.  A 96 KiB log
+    # (~23 single-block records) forces pressure destages mid-run, so
+    # the crash finds a *mixed* state -- some acked writes destaged,
+    # some live only as NVM records -- and recovery must replay exactly
+    # the surviving valid prefix.
+    "nvm-crash": dict(ops=120, nvm=True, nvm_crash_after=40,
+                      nvm_cap_kb=96),
+    # Same, with the fatal append torn (CRC catches the half-persisted
+    # record) over a depth-4 satf queue, so destage runs ride the
+    # batched data-movement path.
+    "nvm-crash+torn@depth4": dict(ops=120, nvm=True, nvm_crash_after=40,
+                                  nvm_torn=True, nvm_cap_kb=96,
+                                  queue_depth=4, sched="satf"),
 }
 
 
@@ -851,14 +899,14 @@ def matrix(
     return points
 
 
-def quick_set() -> List[SweepPoint]:
+def quick_set(families: Optional[List[str]] = None) -> List[SweepPoint]:
     """The CI quick matrix: every workload x every family, one seed."""
-    return matrix(seeds=(0,))
+    return matrix(seeds=(0,), families=families)
 
 
-def long_set() -> List[SweepPoint]:
+def long_set(families: Optional[List[str]] = None) -> List[SweepPoint]:
     """The weekly matrix: more seeds over the same grid."""
-    return matrix(seeds=tuple(range(8)))
+    return matrix(seeds=tuple(range(8)), families=families)
 
 
 def run_matrix(points: List[SweepPoint],

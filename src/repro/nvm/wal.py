@@ -1,0 +1,654 @@
+"""The NVM write-ahead tier: absorb sync writes, destage at idle.
+
+:class:`NVWal` wraps any :class:`~repro.blockdev.interface.BlockDevice`
+and turns every synchronous write into an appended, CRC-chained record in
+a byte-addressable :class:`~repro.blockdev.nvm.NVMDevice` log.  The
+acknowledgement point is the NVM *flush* -- microseconds -- instead of
+the backing store's media write; dirty blocks are served back from the
+tier (read-your-writes) and written to the backing store during idle
+time, through an :class:`~repro.sched.idle.IdleManager` worker chain
+whose last worker hands the remaining budget to the backing device's own
+idle machinery (the VLD's scrubber and compactor keep their slots).
+
+Two-tier commit point
+---------------------
+
+A write is durable the moment its record is inside the NVM persistence
+domain; the backing store's own commit point (the VLD's map-chunk
+append) only matters for blocks already destaged.  On recovery the NVM
+log is scanned *first* -- epoch tag, per-record CRC, and a strictly
+sequential seqno chain identify the valid prefix, so a store torn by the
+crash (or anything after it) is discarded exactly like the virtual log's
+own torn tail.  The backing store then runs its normal
+``power_down``-record / ``scan_for_tail`` pipeline, and finally the
+surviving NVM records are replayed onto it and the log is reset.
+Replayed writes are idempotent: a record that was already destaged
+before the crash rewrites the same bytes.
+
+Log format (offsets in NVM bytes)::
+
+    [0, 64)   superblock: magic, epoch, crc
+    [64, ...) records, appended contiguously:
+                magic, epoch, seqno, lba, count, op, crc | payload
+
+Truncation is wholesale: once every dirty block has destaged, the epoch
+is bumped and the superblock rewritten, which invalidates every old
+record at once (their epoch tags no longer match).  There is no ring
+arithmetic to recover through; a full log destages synchronously (the
+backpressure a real bounded WAL applies).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.blockdev.interface import BlockDevice
+from repro.blockdev.nvm import NVMDevice, NVMSpec, NVM_SPECS
+from repro.sched.idle import IdleManager
+from repro.sim.clock import SimClock
+from repro.sim.metrics import LatencyHistogram
+from repro.sim.stats import Breakdown
+
+_SB_MAGIC = b"NVWALSB1"
+_SB = struct.Struct("<8sII")  # magic, epoch, crc
+#: First record offset; the superblock owns everything below it.
+_DATA_START = 64
+
+_REC_MAGIC = 0x4E564C47  # "NVLG"
+_REC = struct.Struct("<IIqqiBI")  # magic, epoch, seqno, lba, count, op, crc
+
+_OP_WRITE = 0
+_OP_TRIM = 1
+
+
+class NVWalInjector:
+    """Crash injection at the tier's own commit point.
+
+    Arms a :class:`~repro.blockdev.interpose.DeviceCrashed` on the
+    ``crash_after_appends``-th record append.  With ``torn`` the fatal
+    record persists only a prefix of its bytes (a store cut mid-flight by
+    the power loss -- the CRC exposes it on replay); without, the record
+    reaches the persistence domain and *then* the power drops, so the
+    in-flight request legally reads back new.  Every earlier append was
+    acknowledged and must survive -- the crash lands squarely between
+    NVM commit and destage.
+    """
+
+    def __init__(self, crash_after_appends: int, torn: bool = False) -> None:
+        if crash_after_appends <= 0:
+            raise ValueError("crash_after_appends must be positive")
+        self.crash_after_appends = crash_after_appends
+        self.torn = torn
+        self.appends_seen = 0
+
+    def fatal(self) -> bool:
+        """Count one append; ``True`` when this is the fatal one."""
+        self.appends_seen += 1
+        return self.appends_seen == self.crash_after_appends
+
+
+@dataclass
+class NVRecoveryOutcome:
+    """What a two-tier :meth:`NVWal.recover` did.
+
+    ``inner`` carries the backing store's own
+    :class:`~repro.vlog.recovery.RecoveryOutcome` (``None`` for a
+    backing device with no recovery machinery, e.g. a regular disk); the
+    commonly-reported fields delegate to it so torture verdicts read the
+    same either way.
+    """
+
+    #: Valid records found in the NVM log (the tier-1 commit point).
+    replayed_records: int = 0
+    #: Blocks written back to the backing store during replay.
+    replayed_blocks: int = 0
+    #: Trimmed blocks forwarded to the backing store during replay.
+    replayed_trims: int = 0
+    #: True when the scan stopped at a record that failed validation
+    #: (a store torn by the crash) rather than at the clean tail.
+    torn_tail: bool = False
+    inner: Optional[object] = None
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    @property
+    def elapsed(self) -> float:
+        return self.breakdown.total
+
+    def _inner_field(self, name: str, default):
+        return getattr(self.inner, name, default) if self.inner else default
+
+    @property
+    def used_power_down_record(self) -> bool:
+        return self._inner_field("used_power_down_record", False)
+
+    @property
+    def scanned(self) -> bool:
+        return self._inner_field("scanned", False)
+
+    @property
+    def degraded(self) -> bool:
+        return self._inner_field("degraded", False)
+
+    @property
+    def reconstructed(self) -> bool:
+        return self._inner_field("reconstructed", False)
+
+    @property
+    def records_read(self) -> int:
+        return self._inner_field("records_read", 0)
+
+    @property
+    def media_errors(self) -> int:
+        return self._inner_field("media_errors", 0)
+
+    @property
+    def quarantined_sectors(self) -> int:
+        return self._inner_field("quarantined_sectors", 0)
+
+
+class NVWal(BlockDevice):
+    """A transparent write-ahead tier in front of a block device.
+
+    Args:
+        inner: The backing store (VLD, regular disk, anything).
+        spec: The stable-memory part (:data:`~repro.blockdev.nvm.NVM_SPECS`).
+        absorb_max_blocks: Writes longer than this bypass the tier
+            straight to the backing store -- the WAL accelerates small
+            synchronous writes, not streaming transfers.
+        destage_run_blocks: Largest contiguous run one destage write
+            sends down (the budget-check granularity during idle).
+        clock: Shared simulation clock; defaults to the backing disk's.
+    """
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        spec: Optional[NVMSpec] = None,
+        absorb_max_blocks: int = 64,
+        destage_run_blocks: int = 16,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        if absorb_max_blocks <= 0 or destage_run_blocks <= 0:
+            raise ValueError("block limits must be positive")
+        self.inner = inner
+        if clock is None:
+            disk = getattr(inner, "disk", None)
+            clock = getattr(disk, "clock", None) or SimClock()
+        self.clock = clock
+        self.spec = spec if spec is not None else NVM_SPECS["nvdimm"]
+        min_capacity = _DATA_START + _REC.size + self.block_size
+        if self.spec.capacity_bytes < min_capacity:
+            raise ValueError(
+                f"NVM capacity {self.spec.capacity_bytes} cannot hold even "
+                f"one block record ({min_capacity} bytes)"
+            )
+        self.nvm = NVMDevice(self.spec, clock)
+        self.absorb_max_blocks = absorb_max_blocks
+        self.destage_run_blocks = destage_run_blocks
+        self.injector: Optional[NVWalInjector] = None
+        # Volatile tier state, rebuilt from the log by recover().
+        self._dirty: Dict[int, bytes] = {}
+        self._trimmed: Set[int] = set()
+        self._epoch = 1
+        self._seq = 0
+        self._tail = _DATA_START
+        # Counters and the destage/ack histograms.
+        self.absorbed_writes = 0
+        self.absorbed_blocks = 0
+        self.bypassed_writes = 0
+        self.destaged_blocks = 0
+        self.pressure_destages = 0
+        self.log_resets = 0
+        self.ack_times = LatencyHistogram()
+        self.destage_times = LatencyHistogram()
+        self._write_superblock(timed=False)
+        # The idle chain: destage first (free tier capacity, and give the
+        # backing store real data to compact), then hand whatever budget
+        # remains to the backing device's own idle machinery.
+        self.idle_manager = IdleManager(clock)
+        self.idle_manager.register(
+            "nvm-destage",
+            self._idle_destage,
+            gate=lambda: bool(self._dirty or self._trimmed),
+        )
+        self.idle_manager.register(
+            "backing", self._idle_inner, needs_time=False
+        )
+
+    # -- BlockDevice surface -------------------------------------------
+
+    @property
+    def block_size(self) -> int:  # type: ignore[override]
+        return self.inner.block_size
+
+    @property
+    def num_blocks(self) -> int:  # type: ignore[override]
+        return self.inner.num_blocks
+
+    def __getattr__(self, name: str):
+        if name == "inner":  # guard: __init__ not yet run
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+    # -- the log -------------------------------------------------------
+
+    def _write_superblock(self, timed: bool = True) -> Breakdown:
+        body = _SB.pack(_SB_MAGIC, self._epoch, 0)[:-4]
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        cost = self.nvm.store(0, _SB.pack(_SB_MAGIC, self._epoch, crc),
+                              timed=timed)
+        cost.add(self.nvm.flush(timed=timed))
+        return cost
+
+    def _read_superblock(self, timed: bool = True) -> Tuple[Optional[int],
+                                                            Breakdown]:
+        raw, cost = self.nvm.load(0, _SB.size, timed=timed)
+        magic, epoch, stored = _SB.unpack(raw)
+        if magic != _SB_MAGIC:
+            return None, cost
+        if zlib.crc32(raw[:-4]) & 0xFFFFFFFF != stored:
+            return None, cost
+        return epoch, cost
+
+    def _record_bytes(self, op: int, lba: int, count: int,
+                      payload: bytes) -> bytes:
+        body = _REC.pack(_REC_MAGIC, self._epoch, self._seq, lba, count,
+                         op, 0)[:-4]
+        crc = zlib.crc32(body + payload) & 0xFFFFFFFF
+        return (
+            _REC.pack(_REC_MAGIC, self._epoch, self._seq, lba, count, op, crc)
+            + payload
+        )
+
+    def _reset_log(self, timed: bool = True) -> Breakdown:
+        """Invalidate every record at once by bumping the epoch."""
+        self._epoch += 1
+        self._seq = 0
+        self._tail = _DATA_START
+        self.log_resets += 1
+        return self._write_superblock(timed=timed)
+
+    def _append(self, op: int, lba: int, count: int,
+                payload: bytes) -> Breakdown:
+        """Append one record and flush it into the persistence domain --
+        the tier's commit point.  Raises the armed injector's crash
+        *after* counting the append, modelling power loss at (torn) or
+        just after (not torn) the store."""
+        total = Breakdown()
+        record_len = _REC.size + len(payload)
+        if self._tail + record_len > self.nvm.capacity_bytes:
+            # Backpressure: the bounded log is full; destage everything
+            # synchronously and start a fresh epoch before absorbing.
+            self.pressure_destages += 1
+            total.add(self._destage(None))
+        # Built after any reset: the record must carry the live epoch/seqno.
+        record = self._record_bytes(op, lba, count, payload)
+        fatal = self.injector is not None and self.injector.fatal()
+        if fatal and self.injector.torn:
+            torn = record[: max(1, len(record) // 2)]
+            self.nvm.store(self._tail, torn)
+            self.nvm.flush()
+            from repro.blockdev.interpose import DeviceCrashed
+
+            raise DeviceCrashed(
+                "power loss tore the NVM append",
+                op="write" if op == _OP_WRITE else "trim",
+                lba=lba, count=count,
+            )
+        total.add(self.nvm.store(self._tail, record))
+        total.add(self.nvm.flush())
+        self._tail += len(record)
+        self._seq += 1
+        if fatal:
+            from repro.blockdev.interpose import DeviceCrashed
+
+            raise DeviceCrashed(
+                "power loss after the NVM append",
+                op="write" if op == _OP_WRITE else "trim",
+                lba=lba, count=count,
+            )
+        return total
+
+    # -- writes --------------------------------------------------------
+
+    def write_block(self, lba: int, data: Optional[bytes] = None) -> Breakdown:
+        return self.write_blocks(lba, 1, data)
+
+    def write_blocks(
+        self, lba: int, count: int, data: Optional[bytes] = None
+    ) -> Breakdown:
+        self.check_lba(lba, count)
+        data = self.check_data(data, count)
+        record_len = _REC.size + count * self.block_size
+        if (
+            count > self.absorb_max_blocks
+            or _DATA_START + record_len > self.nvm.capacity_bytes
+        ):
+            return self._write_through(lba, count, data)
+        cost = self._append(_OP_WRITE, lba, count, data)
+        bs = self.block_size
+        for i in range(count):
+            block = lba + i
+            self._dirty[block] = data[i * bs : (i + 1) * bs]
+            self._trimmed.discard(block)
+        self.absorbed_writes += 1
+        self.absorbed_blocks += count
+        self.ack_times.record(cost.total)
+        return cost
+
+    def _write_through(self, lba: int, count: int, data: bytes) -> Breakdown:
+        """Bypass for writes the tier does not absorb.  Any tier state
+        overlapping the range must drain first: stale dirty blocks would
+        otherwise destage (or replay) *over* the newer bypass data."""
+        total = Breakdown()
+        if any(
+            lba + i in self._dirty or lba + i in self._trimmed
+            for i in range(count)
+        ):
+            total.add(self._destage(None))
+        self.bypassed_writes += 1
+        total.add(self.inner.write_blocks(lba, count, data))
+        return total
+
+    def write_partial(self, lba: int, offset: int, data: bytes) -> Breakdown:
+        """Read-modify-write through the tier: the WAL absorbs whole
+        blocks, so a fragment write costs one block read (tier or
+        backing) plus one absorbed block."""
+        self.check_lba(lba)
+        if offset < 0 or offset + len(data) > self.block_size:
+            raise ValueError("partial write outside the block")
+        total = Breakdown()
+        if lba in self._dirty:
+            current = self._dirty[lba]
+            _, cost = self.nvm.load(0, len(current))
+            total.add(cost)
+        elif lba in self._trimmed:
+            current = bytes(self.block_size)
+        else:
+            current, cost = self.inner.read_block(lba)
+            total.add(cost)
+        patched = current[:offset] + data + current[offset + len(data):]
+        total.add(self.write_blocks(lba, 1, patched))
+        return total
+
+    def trim(self, lba: int, count: int = 1) -> Breakdown:
+        """Log a trim record so a post-crash replay cannot resurrect the
+        trimmed blocks; the backing store's trim runs at destage."""
+        self.check_lba(lba, count)
+        cost = self._append(_OP_TRIM, lba, count, b"")
+        for i in range(count):
+            block = lba + i
+            self._dirty.pop(block, None)
+            self._trimmed.add(block)
+        return cost
+
+    # -- reads ---------------------------------------------------------
+
+    def _load_dirty(self, lba: int) -> Tuple[bytes, Breakdown]:
+        data = self._dirty[lba]
+        _, cost = self.nvm.load(0, len(data))
+        return data, cost
+
+    def read_block(self, lba: int) -> Tuple[bytes, Breakdown]:
+        self.check_lba(lba)
+        if lba in self._dirty:
+            return self._load_dirty(lba)
+        if lba in self._trimmed:
+            _, cost = self.nvm.load(0, 0)
+            return bytes(self.block_size), cost
+        return self.inner.read_block(lba)
+
+    def read_blocks(self, lba: int, count: int) -> Tuple[bytes, Breakdown]:
+        self.check_lba(lba, count)
+        if not any(
+            lba + i in self._dirty or lba + i in self._trimmed
+            for i in range(count)
+        ):
+            return self.inner.read_blocks(lba, count)
+        pieces: List[bytes] = []
+        total = Breakdown()
+        run_start: Optional[int] = None
+        for block in range(lba, lba + count + 1):
+            tiered = block < lba + count and (
+                block in self._dirty or block in self._trimmed
+            )
+            if not tiered and block < lba + count:
+                if run_start is None:
+                    run_start = block
+                continue
+            if run_start is not None:
+                data, cost = self.inner.read_blocks(
+                    run_start, block - run_start
+                )
+                pieces.append(data)
+                total.add(cost)
+                run_start = None
+            if block < lba + count:
+                if block in self._dirty:
+                    data, cost = self._load_dirty(block)
+                else:
+                    _, cost = self.nvm.load(0, 0)
+                    data = bytes(self.block_size)
+                pieces.append(data)
+                total.add(cost)
+        return b"".join(pieces), total
+
+    # -- destage -------------------------------------------------------
+
+    def _trim_runs(self) -> List[Tuple[int, int]]:
+        runs: List[Tuple[int, int]] = []
+        for block in sorted(self._trimmed):
+            if runs and block == runs[-1][0] + runs[-1][1]:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((block, 1))
+        return runs
+
+    def _dirty_runs(self, cap: Optional[int]) -> List[Tuple[int, bytes]]:
+        runs: List[Tuple[int, bytes]] = []
+        for block in sorted(self._dirty):
+            if (
+                runs
+                and cap is not None
+                and len(runs[-1][1]) >= cap * self.block_size
+            ):
+                runs.append((block, self._dirty[block]))
+            elif runs and block == runs[-1][0] + len(runs[-1][1]) // self.block_size:
+                runs[-1] = (runs[-1][0], runs[-1][1] + self._dirty[block])
+            else:
+                runs.append((block, self._dirty[block]))
+        return runs
+
+    def _destage(self, deadline: Optional[float]) -> Breakdown:
+        """Write tier state back to the backing store; with a deadline,
+        stop between runs once the clock passes it.  A fully drained
+        tier resets the log (wholesale truncation)."""
+        total = Breakdown()
+        start = self.clock.now
+        inner_trim = getattr(self.inner, "trim", None)
+        for block, count in self._trim_runs():
+            if deadline is not None and self.clock.now >= deadline:
+                break
+            if inner_trim is not None:
+                total.add(inner_trim(block, count))
+            for i in range(count):
+                self._trimmed.discard(block + i)
+        if not self._trimmed:
+            for block, data in self._dirty_runs(self.destage_run_blocks):
+                if deadline is not None and self.clock.now >= deadline:
+                    break
+                count = len(data) // self.block_size
+                total.add(self.inner.write_blocks(block, count, data))
+                self.destaged_blocks += count
+                for i in range(count):
+                    self._dirty.pop(block + i, None)
+        if not self._dirty and not self._trimmed and self._seq:
+            total.add(self._reset_log())
+        if self.clock.now > start:
+            self.destage_times.record(self.clock.now - start)
+        return total
+
+    def destage_all(self) -> Breakdown:
+        """Drain the whole tier synchronously (shutdown, or a test)."""
+        return self._destage(None)
+
+    # -- idle ----------------------------------------------------------
+
+    def _idle_destage(self, budget: float) -> Breakdown:
+        return self._destage(self.clock.now + budget)
+
+    def _idle_inner(self, budget: float) -> Optional[Breakdown]:
+        self.inner.idle(max(0.0, budget))
+        return None
+
+    def idle(self, seconds: float) -> None:
+        self.idle_manager.grant(seconds)
+
+    # -- shutdown, crash, recovery -------------------------------------
+
+    def power_down(self, timed: bool = True) -> Breakdown:
+        """Orderly shutdown: drain the tier, then the backing store's own
+        power-down sequence.  A clean stop leaves an empty log."""
+        total = self.destage_all()
+        inner_down = getattr(self.inner, "power_down", None)
+        if inner_down is not None:
+            total.add(inner_down(timed))
+        else:
+            self.inner.idle(0.0)
+        return total
+
+    def crash(self) -> None:
+        """Power loss: stores outside the NVM persistence domain are
+        gone, all volatile tier state is gone, and the backing store
+        crashes too.  Only :meth:`recover` may run next."""
+        self.nvm.crash()
+        self._dirty = {}
+        self._trimmed = set()
+        inner_crash = getattr(self.inner, "crash", None)
+        if inner_crash is not None:
+            inner_crash()
+
+    def _scan_log(self, timed: bool = True) -> Tuple[
+        List[Tuple[int, int, int, bytes]], bool, Breakdown
+    ]:
+        """Walk the NVM log: superblock epoch, then records while the
+        (magic, epoch, seqno-chain, CRC) validation holds.  Returns
+        ``(records, torn_tail, cost)`` with records as ``(op, lba,
+        count, payload)`` in append order."""
+        total = Breakdown()
+        epoch, cost = self._read_superblock(timed=timed)
+        total.add(cost)
+        records: List[Tuple[int, int, int, bytes]] = []
+        torn = False
+        if epoch is None:
+            # No valid superblock: a fresh part (all zeros) or one whose
+            # superblock store itself tore.  Either way there is nothing
+            # to replay.
+            return records, torn, total
+        self._epoch = epoch
+        offset = _DATA_START
+        expected_seq = 0
+        capacity = self.nvm.capacity_bytes
+        bs = self.block_size
+        while offset + _REC.size <= capacity:
+            raw, cost = self.nvm.load(offset, _REC.size, timed=timed)
+            total.add(cost)
+            magic, epoch_tag, seqno, lba, count, op, stored = _REC.unpack(raw)
+            if magic != _REC_MAGIC or epoch_tag != self._epoch:
+                break
+            if seqno != expected_seq:
+                torn = True
+                break
+            payload_len = count * bs if op == _OP_WRITE else 0
+            if (
+                count <= 0
+                or op not in (_OP_WRITE, _OP_TRIM)
+                or lba < 0
+                or lba + count > self.num_blocks
+                or offset + _REC.size + payload_len > capacity
+            ):
+                torn = True
+                break
+            payload, cost = self.nvm.load(
+                offset + _REC.size, payload_len, timed=timed
+            )
+            total.add(cost)
+            body = _REC.pack(magic, epoch_tag, seqno, lba, count, op, 0)[:-4]
+            if zlib.crc32(body + payload) & 0xFFFFFFFF != stored:
+                torn = True
+                break
+            records.append((op, lba, count, payload))
+            offset += _REC.size + payload_len
+            expected_seq += 1
+        self._tail = offset
+        self._seq = expected_seq
+        return records, torn, total
+
+    def recover(self, timed: bool = True) -> NVRecoveryOutcome:
+        """Two-tier recovery: establish the NVM commit point (scan the
+        log's valid prefix), run the backing store's own recovery
+        pipeline, replay the surviving records onto it, reset the log."""
+        records, torn, total = self._scan_log(timed=timed)
+        # Rebuild the tier's view of the surviving records in order; the
+        # final state per block is what replays (later records win).
+        self._dirty = {}
+        self._trimmed = set()
+        bs = self.block_size
+        replayed_blocks = 0
+        replayed_trims = 0
+        for op, lba, count, payload in records:
+            if op == _OP_WRITE:
+                for i in range(count):
+                    block = lba + i
+                    self._dirty[block] = payload[i * bs : (i + 1) * bs]
+                    self._trimmed.discard(block)
+            else:
+                for i in range(count):
+                    self._dirty.pop(lba + i, None)
+                    self._trimmed.add(lba + i)
+        inner_outcome = None
+        inner_recover = getattr(self.inner, "recover", None)
+        if inner_recover is not None:
+            inner_outcome = inner_recover(timed)
+            if inner_outcome is not None:
+                total.add(inner_outcome.breakdown)
+        replayed_blocks = len(self._dirty)
+        replayed_trims = len(self._trimmed)
+        total.add(self.destage_all())
+        return NVRecoveryOutcome(
+            replayed_records=len(records),
+            replayed_blocks=replayed_blocks,
+            replayed_trims=replayed_trims,
+            torn_tail=torn,
+            inner=inner_outcome,
+            breakdown=total,
+        )
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def dirty_blocks(self) -> int:
+        return len(self._dirty)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "absorbed_writes": self.absorbed_writes,
+            "absorbed_blocks": self.absorbed_blocks,
+            "bypassed_writes": self.bypassed_writes,
+            "destaged_blocks": self.destaged_blocks,
+            "pressure_destages": self.pressure_destages,
+            "log_resets": self.log_resets,
+            "dirty_blocks": len(self._dirty),
+            "trimmed_blocks": len(self._trimmed),
+            "mean_ack_s": self.ack_times.mean(),
+            "nvm": self.nvm.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"NVWal({self.spec.name}, dirty={len(self._dirty)}, "
+            f"absorbed={self.absorbed_writes})"
+        )

@@ -337,6 +337,14 @@ class IntervalRecorder:
         self._raw: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
 
     def note(self, kind: str, key: str, start: float, end: float) -> None:
+        """Record one ``[start, end)`` interval.
+
+        Zero-length intervals (``end == start``) are dropped here, by
+        design: an instantaneous event has measure zero, so keeping it
+        could never change a total but *would* force every consumer of
+        :meth:`merged` to handle degenerate spans.  ``end < start`` is a
+        caller bug and raises.
+        """
         if end < start:
             raise ValueError(f"interval ends before it starts: {start}..{end}")
         if end == start:
@@ -369,7 +377,21 @@ class IntervalRecorder:
     ) -> float:
         """Seconds of ``kind`` activity clipped to ``window`` -- the
         "how busy was this disk during the degraded window" question,
-        answered by exact interval arithmetic."""
+        answered by exact interval arithmetic.
+
+        Boundary convention (pinned): intervals and the window are both
+        **half-open** ``[lo, hi)``.  An interval that merely *abuts* a
+        window edge -- ending exactly at ``lo``, or starting exactly at
+        ``hi`` -- shares a single point with it, has measure zero inside
+        it, and contributes ``0.0``; the strict ``>`` clip below is what
+        enforces that (``>=`` would admit those degenerate touches as
+        zero-length terms, harmless for the sum but wrong as a "was it
+        active in the window" predicate).  Consequently two windows that
+        tile a span, ``(a, m)`` and ``(m, b)``, partition every
+        interval's measure exactly: nothing at ``m`` is double-counted
+        and nothing is dropped.  An empty or inverted window has measure
+        zero and returns ``0.0``.
+        """
         lo, hi = window
         if hi <= lo:
             return 0.0

@@ -96,11 +96,22 @@ class LatencyHistogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Upper edge of the bucket holding the requested quantile."""
+        """Upper edge of the bucket holding the requested quantile.
+
+        An *empty* histogram has no quantiles: the result is ``NaN``,
+        which survives formatting as the honest "no data" marker --
+        returning ``0.0`` here read as "instantaneous", which is
+        actively misleading for near-empty quick-run histograms (the NVM
+        destage histograms often record nothing at quick scale).  With
+        1-2 samples every fraction resolves to a real recorded bucket:
+        nearest-rank over ``max(1, ceil(fraction * count))`` -- p50 of
+        two samples is the first, p99 of anything non-empty is the last
+        recorded bucket's upper edge, never an index error.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must lie in [0, 1]")
         if not self.count:
-            return 0.0
+            return float("nan")
         target = max(1, math.ceil(fraction * self.count))
         seen = 0
         for index in sorted(self.buckets):

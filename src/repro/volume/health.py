@@ -25,6 +25,21 @@ def _percentile(samples: List[float], fraction: float) -> float:
     return ordered[rank]
 
 
+def median_baseline(monitors) -> Optional[float]:
+    """The median of the frozen baselines across ``monitors`` (ignoring
+    those still learning); ``None`` with fewer than two frozen baselines
+    -- a single sibling cannot arbitrate who is the slow one."""
+    frozen = sorted(
+        m.baseline_p99 for m in monitors if m.baseline_p99 is not None
+    )
+    if len(frozen) < 2:
+        return None
+    mid = len(frozen) // 2
+    if len(frozen) % 2:
+        return frozen[mid]
+    return (frozen[mid - 1] + frozen[mid]) / 2.0
+
+
 class ShardHealthMonitor:
     """A p99-over-window latency tripwire for one shard.
 
@@ -72,6 +87,7 @@ class ShardHealthMonitor:
         self._baseline_pool: List[float] = []
         self._baseline_p99: Optional[float] = None
         self._tripped = False
+        self._calibrated = False
         self.samples = 0
         self.trips = 0
 
@@ -96,6 +112,39 @@ class ShardHealthMonitor:
                 self.trips += 1
         elif p99 < self.clear_factor * self._baseline_p99:
             self._tripped = False
+
+    def calibrate(self, reference_p99: float) -> bool:
+        """Cross-check the frozen baseline against a *reference* p99
+        (typically the median of the sibling shards' baselines).
+
+        The baseline freezes over whatever samples arrive first, so a
+        shard that is fail-slow from op 0 teaches the monitor that slow
+        is normal: the inflated baseline means the ``trip_factor`` x
+        comparison can never fire.  No amount of local data fixes that
+        -- every sample the monitor ever saw was degraded -- so the
+        volume lends it the siblings' notion of normal.  One-sided and
+        one-shot: only a baseline at least ``trip_factor`` x the
+        reference is treated as learned-while-degraded; it is replaced
+        by the reference and the monitor trips immediately (the shard
+        *is* slow by its siblings' normal).  A sane baseline is left
+        untouched either way.  Returns ``True`` when recalibration
+        happened.
+        """
+        self._calibrated = True
+        if self._baseline_p99 is None or reference_p99 <= 0.0:
+            return False
+        if self._baseline_p99 < self.trip_factor * reference_p99:
+            return False
+        self._baseline_p99 = max(reference_p99, 1e-12)
+        if not self._tripped:
+            self._tripped = True
+            self.trips += 1
+        return True
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether the baseline has been cross-checked against siblings."""
+        return self._calibrated
 
     @property
     def tripped(self) -> bool:

@@ -47,7 +47,7 @@ from repro.blockdev.interpose import (
 )
 from repro.sim.stats import Breakdown
 from repro.vlog.resilience.retry import RetryPolicy
-from repro.volume.health import ShardHealthMonitor
+from repro.volume.health import ShardHealthMonitor, median_baseline
 
 
 class ShardUnavailable(DeviceFault):
@@ -252,7 +252,25 @@ class ShardedVolume(BlockDevice):
         breakdown = result[1] if isinstance(result, tuple) else result
         if isinstance(breakdown, Breakdown):
             self.monitors[index].note(breakdown.total)
+            self._calibrate_monitor(index)
         return result
+
+    def _calibrate_monitor(self, index: int) -> None:
+        """Once a shard's baseline freezes, cross-check it against the
+        median sibling baseline: a shard that was *already* fail-slow
+        while learning froze an inflated baseline (slow looked normal,
+        so the trip comparison could never fire); calibration adopts the
+        siblings' normal and trips it immediately.  One-shot per
+        baseline, no-op until at least two siblings have frozen theirs."""
+        monitor = self.monitors[index]
+        if monitor.baseline_p99 is None or monitor.calibrated:
+            return
+        reference = median_baseline(
+            m for i, m in enumerate(self.monitors) if i != index
+        )
+        if reference is None:
+            return
+        monitor.calibrate(reference)
 
     def _shard_read(self, index: int, op: str, *args):
         """A read, hedged when the shard's fail-slow monitor is tripped:

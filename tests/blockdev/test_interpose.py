@@ -300,9 +300,13 @@ class TestQueueAwareMetrics:
         assert pct["p50"] > 0.0
         assert pct["p50"] <= pct["p95"] <= pct["p99"]
         assert metered.service_percentiles() == pct
-        assert metered.service_percentiles("read") == {
-            "p50": 0.0, "p95": 0.0, "p99": 0.0, "p999": 0.0
-        }
+        # No reads recorded: every quantile is NaN ("no data"), never a
+        # lying 0.0 that reads as "instantaneous".
+        import math
+
+        empty = metered.service_percentiles("read")
+        assert set(empty) == {"p50", "p95", "p99", "p999"}
+        assert all(math.isnan(v) for v in empty.values())
 
     def test_real_scheduler_depth_four_reports_overlap(self, disk):
         device = RegularDisk(disk, queue_depth=4, sched="satf")

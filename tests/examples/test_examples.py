@@ -90,3 +90,15 @@ class TestFilesystemAging:
         create_s, update_s, seq_bw = module.measure(fs, rng, "vld")
         assert create_s > 0 and update_s > 0 and seq_bw > 0
         fs.device.vlog.check_invariants()
+
+
+class TestNvmWalDemo:
+    def test_main_runs_all_four_stories(self, capsys):
+        load("nvm_wal_demo").main()
+        out = capsys.readouterr().out
+        assert "x faster" in out
+        assert "dirty blocks after idle : 0" in out
+        assert "intact: True" in out and "intact: False" not in out
+        assert "vlfsck clean: True" in out
+        assert "torn tail detected: True" in out
+        assert "every acked write survived" in out

@@ -141,3 +141,33 @@ def test_sweep_point_functions_agree():
     )
     for key in set(FIGURE_KEYS) & set(qdepth):
         assert multihost[key] == qdepth[key], key
+
+
+def test_nvm_disabled_builds_no_wal_layer():
+    """NVM off must be *free*: with the default nvm setting, neither
+    build_device_stack nor the harness config path constructs an NVWal
+    anywhere in the device chain -- the existing figures cannot change
+    because the tier's code never runs.  (The byte-identity of the full
+    quick figure set is checked by CI regenerating the harness output;
+    this pins the structural half locally.)"""
+    from repro.blockdev.interpose import build_device_stack
+    from repro.harness import configs
+    from repro.nvm import NVWal
+
+    assert configs.default_nvm() is None  # no process-global override
+
+    def layers(device):
+        seen = []
+        while device is not None and len(seen) < 12:
+            seen.append(device)
+            device = getattr(device, "inner", None)
+        return seen
+
+    disk = Disk(DISKS["st19101"], num_cylinders=4)
+    stack = build_device_stack(disk, "vld")
+    assert not any(isinstance(layer, NVWal) for layer in layers(stack))
+
+    # ... and the assertion has teeth: asking for the tier produces it.
+    disk2 = Disk(DISKS["st19101"], num_cylinders=4)
+    armed = build_device_stack(disk2, "vld", nvm="nvdimm")
+    assert any(isinstance(layer, NVWal) for layer in layers(armed))

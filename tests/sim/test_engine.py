@@ -317,3 +317,58 @@ class TestIntervalRecorder:
         assert rec.merged("busy", "d0") == []
         with pytest.raises(ValueError, match="ends before"):
             rec.note("busy", "d0", 2.0, 1.0)
+
+
+class TestTotalWithinBoundaries:
+    """The pinned half-open convention for window clipping: intervals
+    exactly abutting a window edge contribute zero, tiling windows
+    partition measure exactly, degenerate windows are zero."""
+
+    def recorder(self):
+        rec = IntervalRecorder()
+        rec.note("busy", "d0", 1.0, 2.0)
+        rec.note("busy", "d0", 3.0, 5.0)
+        return rec
+
+    def test_interior_clip(self):
+        rec = self.recorder()
+        assert rec.total_within("busy", (1.5, 4.0)) == pytest.approx(1.5)
+
+    def test_interval_ending_at_window_start_contributes_zero(self):
+        rec = self.recorder()
+        # [1, 2) abuts the window [2, 3): one shared point, measure zero.
+        assert rec.total_within("busy", (2.0, 3.0)) == pytest.approx(0.0)
+
+    def test_interval_starting_at_window_end_contributes_zero(self):
+        rec = self.recorder()
+        # [3, 5) starts exactly where the window [2.5, 3) ends.
+        assert rec.total_within("busy", (2.5, 3.0)) == pytest.approx(0.0)
+
+    def test_exactly_coincident_window(self):
+        rec = self.recorder()
+        assert rec.total_within("busy", (1.0, 2.0)) == pytest.approx(1.0)
+
+    def test_tiling_windows_partition_measure(self):
+        # Split at a point interior to an interval: the two halves must
+        # sum to the untiled total -- no double count, no drop at the cut.
+        rec = self.recorder()
+        whole = rec.total_within("busy", (0.0, 6.0))
+        for cut in (1.0, 1.5, 2.0, 3.0, 4.0, 5.0):
+            left = rec.total_within("busy", (0.0, cut))
+            right = rec.total_within("busy", (cut, 6.0))
+            assert left + right == pytest.approx(whole), cut
+        assert whole == pytest.approx(rec.total("busy"))
+
+    def test_empty_and_inverted_windows_are_zero(self):
+        rec = self.recorder()
+        assert rec.total_within("busy", (1.5, 1.5)) == 0.0
+        assert rec.total_within("busy", (4.0, 1.0)) == 0.0
+
+    def test_window_entirely_outside_activity(self):
+        rec = self.recorder()
+        assert rec.total_within("busy", (6.0, 9.0)) == 0.0
+        assert rec.total_within("busy", (2.0, 3.0)) == 0.0  # the gap
+
+    def test_unknown_kind_is_zero(self):
+        rec = self.recorder()
+        assert rec.total_within("nope", (0.0, 10.0)) == 0.0

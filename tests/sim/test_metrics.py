@@ -75,7 +75,33 @@ class TestLatencyHistogram:
     def test_percentile_bounds_checked(self):
         with pytest.raises(ValueError):
             LatencyHistogram().percentile(1.5)
-        assert LatencyHistogram().percentile(0.5) == 0.0
+
+    def test_empty_histogram_percentile_is_nan(self):
+        # "No data" must not read as "instantaneous": an empty histogram
+        # (common for near-empty NVM destage histograms on quick runs)
+        # reports NaN for every quantile, never 0.0 or an index error.
+        import math as _math
+
+        empty = LatencyHistogram()
+        for fraction in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert _math.isnan(empty.percentile(fraction))
+        assert all(_math.isnan(v) for v in empty.percentiles().values())
+
+    def test_single_sample_histogram(self):
+        h = LatencyHistogram()
+        h.record(1.5e-6)  # bucket 0, upper edge 2us
+        for fraction in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert h.percentile(fraction) == pytest.approx(2e-6)
+
+    def test_two_sample_histogram(self):
+        h = LatencyHistogram()
+        h.record(1.5e-6)  # bucket 0, upper edge 2us
+        h.record(1e-3)    # a much slower second sample
+        # Nearest-rank: p50 resolves to the fast sample, the tail
+        # quantiles to the slow one -- defined values at every fraction.
+        assert h.percentile(0.5) == pytest.approx(2e-6)
+        assert h.percentile(0.99) >= 1e-3
+        assert h.percentile(0.999) >= 1e-3
 
     def test_merge(self):
         a, b = LatencyHistogram(), LatencyHistogram()

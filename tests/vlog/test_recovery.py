@@ -265,3 +265,70 @@ class TestUnreadableTailMediaError:
         for lba in range(4):
             data, _ = vld.read_block(lba)
             assert len(data) == vld.block_size
+
+
+class TestPowerDownWithPendingQueue:
+    """power_down() at queue depth > 1: the barrier at the top of
+    power_down ("nothing may outlive the queue") must push every request
+    still sitting in the scheduler to the media *before* the power-down
+    record is written.  Without it, an orderly shutdown would silently
+    drop queued writes -- crash() discards pending requests, and the
+    power record would bless a state the media never reached."""
+
+    def _vld_depth4(self):
+        from repro.vlog.vld import VirtualLogDisk
+
+        disk = Disk(ST19101, num_cylinders=2)
+        return VirtualLogDisk(disk, queue_depth=4, sched="satf")
+
+    def test_depth4_pending_writes_land_before_power_record(self):
+        vld = self._vld_depth4()
+        spb = vld.sectors_per_block
+        # Establish mappings the normal way (each write_block barriers
+        # internally before its map commit, so the queue is empty now).
+        for lba in range(6):
+            vld.write_block(lba, bytes([0x10 + lba]) * vld.block_size)
+        assert vld.scheduler.outstanding == 0
+        # Overwrite three mapped physical blocks in place, straight
+        # through the scheduler, staying below the queue depth: these
+        # requests are genuinely *pending* -- nothing has serviced them.
+        updated = {}
+        for lba in (1, 3, 5):
+            physical = vld.imap.get(lba)
+            assert physical is not None
+            payload = bytes([0xA0 + lba]) * vld.block_size
+            vld.scheduler.write(
+                physical * spb, spb, payload, charge_scsi=False
+            )
+            updated[lba] = payload
+        assert vld.scheduler.outstanding == len(updated)
+        vld.power_down()
+        # The barrier drained the queue before the power record went out.
+        assert vld.scheduler.outstanding == 0
+        vld.crash()
+        outcome = vld.recover(timed=False)
+        assert outcome.used_power_down_record
+        assert not outcome.scanned
+        # The in-place overwrites reached the media under the existing
+        # mappings; a dropped queue would read back the 0x10-series data.
+        for lba, payload in updated.items():
+            assert vld.read_block(lba)[0] == payload
+
+    def test_depth4_crash_without_power_down_drops_pending(self):
+        """The inverse: a *crash* with requests pending loses exactly
+        those requests -- pinning that the power_down test above is
+        actually exercising the barrier, not a scheduler that flushes
+        eagerly on its own."""
+        vld = self._vld_depth4()
+        spb = vld.sectors_per_block
+        for lba in range(6):
+            vld.write_block(lba, bytes([0x10 + lba]) * vld.block_size)
+        physical = vld.imap.get(3)
+        vld.scheduler.write(
+            physical * spb, spb, b"\xEE" * vld.block_size, charge_scsi=False
+        )
+        assert vld.scheduler.outstanding == 1
+        vld.crash()  # discards the pending overwrite
+        outcome = vld.recover(timed=False)
+        assert outcome.scanned
+        assert vld.read_block(3)[0] == bytes([0x13]) * vld.block_size

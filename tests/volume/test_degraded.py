@@ -163,3 +163,86 @@ class TestHedgedReads:
         assert not monitor.tripped
         assert monitor.baseline_p99 is None
         assert monitor.samples == 0
+
+
+class TestBaselineCalibration:
+    """A shard slow from op 0 froze an inflated baseline: slow looked
+    normal, so the local 4x comparison could never fire.  Calibration
+    against the sibling medians must still trip it."""
+
+    def slow_from_birth_volume(self, factor=16.0):
+        # slow_after_ops=1: degraded from (effectively) the first op,
+        # so the whole 32-sample baseline pool is slow samples.
+        plan = FaultPlan(
+            seed=5, slow_factor=factor, slow_after_ops=1,
+            slow_duration_ops=100000,
+        )
+        return build_sharded_volume(
+            shards=3, num_cylinders=2, fault_plans={1: plan}
+        )
+
+    def drive(self, volume, rounds=40):
+        for _ in range(rounds):
+            for lba in range(24):
+                try:
+                    volume.read_block(lba)
+                except ShardUnavailable:
+                    pass
+
+    def test_slow_from_op_zero_still_trips(self):
+        volume, _, _ = self.slow_from_birth_volume()
+        fill(volume)
+        self.drive(volume)
+        monitor = volume.monitors[1]
+        # Every sample the monitor ever saw was degraded; without
+        # cross-shard calibration its baseline is ~16x the siblings' and
+        # the trip can never fire locally.
+        assert monitor.baseline_p99 is not None
+        assert monitor.tripped
+        # The adopted baseline is the siblings' normal, so the hedge
+        # delay is sized to healthy latencies, not the inflated ones.
+        healthy = volume.monitors[0].baseline_p99
+        assert monitor.baseline_p99 == pytest.approx(healthy, rel=2.0)
+
+    def test_slow_from_birth_draws_hedged_reads(self):
+        volume, _, _ = self.slow_from_birth_volume(factor=64.0)
+        fill(volume)
+        self.drive(volume)
+        limping = [
+            lba for lba in range(24) if volume.shard_of(lba)[0] == 1
+        ]
+        before = volume.hedged_reads[1]
+        for lba in limping:
+            volume.read_block(lba)
+        assert volume.hedged_reads[1] > before
+
+    def test_healthy_volume_never_miscalibrates(self):
+        volume, _, _ = build_sharded_volume(shards=3, num_cylinders=2)
+        fill(volume)
+        self.drive(volume, rounds=10)
+        for monitor in volume.monitors:
+            assert monitor.baseline_p99 is not None
+            assert monitor.calibrated
+            assert not monitor.tripped
+        assert sum(m.trips for m in volume.monitors) == 0
+
+    def test_late_onset_family_is_untouched_by_calibration(self):
+        # The existing fail-slow story: baseline learned while healthy,
+        # onset later.  Calibration must not replace that sane baseline.
+        plan = FaultPlan(
+            seed=5, slow_factor=16.0, slow_after_ops=64,
+            slow_duration_ops=4000,
+        )
+        volume, _, _ = build_sharded_volume(
+            shards=3, num_cylinders=2, fault_plans={1: plan}
+        )
+        fill(volume)
+        baseline_before = None
+        for _ in range(60):
+            for lba in range(24):
+                volume.read_block(lba)
+            monitor = volume.monitors[1]
+            if monitor.calibrated and baseline_before is None:
+                baseline_before = monitor.baseline_p99
+        assert volume.monitors[1].tripped  # the normal trip path fired
+        assert volume.monitors[1].baseline_p99 == baseline_before
